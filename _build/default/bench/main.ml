@@ -1,0 +1,248 @@
+(* Benchmark harness: reproduces every table and figure of the paper's
+   evaluation (printed in the paper's shape), and measures the
+   computational kernels behind each one with Bechamel.
+
+   Usage:
+     dune exec bench/main.exe            # all reports + micro-benchmarks
+     dune exec bench/main.exe -- table1  # one artifact
+     dune exec bench/main.exe -- fig7 | fig8 | fig9 | ablation-verify
+                                 | ablation-slicer | ablation-audit
+                                 | containment | micro *)
+
+open Bechamel
+open Toolkit
+open Heimdall_scenarios
+
+(* ------------------------------------------------------------------ *)
+(* Paper-shaped reports                                                *)
+(* ------------------------------------------------------------------ *)
+
+let report_table1 () =
+  print_string "== Table 1: evaluation networks ==\n";
+  print_string (Experiments.render_table1 (Experiments.table1 ()));
+  print_newline ()
+
+let report_fig7 () =
+  print_string "== Figure 7: time to solve three real issues (enterprise) ==\n";
+  let cells = Experiments.fig7 () in
+  print_string (Experiments.render_fig7 cells);
+  List.iter
+    (fun (issue, o) -> Printf.printf "Heimdall overhead on %s: +%.1f s\n" issue o)
+    (Experiments.fig7_overhead cells);
+  let overheads = List.map snd (Experiments.fig7_overhead cells) in
+  Printf.printf "average overhead: +%.1f s (paper: +28 s)\n\n"
+    (List.fold_left ( +. ) 0.0 overheads /. float_of_int (List.length overheads))
+
+let report_fig7_university () =
+  print_string
+    "== Figure 7 (university variant; the paper omits it \"due to similarity\") ==\n";
+  let cells = Experiments.fig7 ~network:`University () in
+  print_string (Experiments.render_fig7 cells);
+  List.iter
+    (fun (issue, o) -> Printf.printf "Heimdall overhead on %s: +%.1f s\n" issue o)
+    (Experiments.fig7_overhead cells);
+  print_newline ()
+
+let report_fig8 () =
+  print_string "== Figure 8: feasibility and attack surface (enterprise) ==\n";
+  print_string
+    (Experiments.render_sweep ~title:"bring down each interface; All vs Neighbor vs Heimdall"
+       (Experiments.fig8 ()));
+  print_newline ()
+
+let report_fig9 () =
+  print_string "== Figure 9: feasibility and attack surface (university) ==\n";
+  print_string
+    (Experiments.render_sweep ~title:"bring down each interface; All vs Neighbor vs Heimdall"
+       (Experiments.fig9 ()));
+  print_newline ()
+
+let report_ablation_verify () =
+  print_string "== Ablation A1: continuous vs batch policy verification ==\n";
+  print_string (Experiments.render_ablation_verify (Experiments.ablation_verify ()));
+  print_newline ()
+
+let report_ablation_slicer () =
+  print_string "== Ablation A2: twin slicing strategies (Figure 5 design space) ==\n";
+  print_string (Experiments.render_ablation_slicer (Experiments.ablation_slicer ()));
+  print_newline ()
+
+let report_ablation_audit () =
+  print_string "== Ablation A3: audit trail and enclave overhead ==\n";
+  print_string (Experiments.render_ablation_audit (Experiments.ablation_audit ()));
+  print_newline ()
+
+let report_campaign () =
+  print_string
+    "== Campaign: 40 tickets, 20% hostile, same event stream under both models ==\n";
+  print_string (Campaign.render (Experiments.campaign ()));
+  print_newline ()
+
+let report_containment () =
+  print_string "== Attack containment (motivating incidents, paper section 2.2) ==\n";
+  print_string (Experiments.render_containment (Experiments.attack_containment ()));
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks: one Test.make per table/figure kernel    *)
+(* ------------------------------------------------------------------ *)
+
+let bench_table1 =
+  (* Kernel behind Table 1: build a network and mine its policies. *)
+  Test.make ~name:"table1/build+mine-enterprise"
+    (Staged.stage (fun () ->
+         let net = Enterprise.build () in
+         ignore (Enterprise.policies net)))
+
+let bench_fig7 =
+  (* Kernel behind Figure 7: one full Heimdall workflow (vlan issue). *)
+  let net, policies = Experiments.enterprise () in
+  let issue = List.hd (Enterprise.issues net) in
+  Test.make ~name:"fig7/heimdall-workflow-vlan"
+    (Staged.stage (fun () ->
+         ignore (Heimdall_msp.Workflow.run_heimdall ~production:net ~policies ~issue ())))
+
+let bench_fig8 =
+  let net, policies = Experiments.enterprise () in
+  Test.make ~name:"fig8/sweep-enterprise"
+    (Staged.stage (fun () -> ignore (Metrics.sweep_all ~production:net ~policies ())))
+
+let bench_fig9 =
+  let net, policies = Experiments.university () in
+  Test.make ~name:"fig9/sweep-university-heimdall"
+    (Staged.stage (fun () ->
+         ignore (Metrics.sweep ~production:net ~policies Metrics.Heimdall_twin)))
+
+let bench_verify =
+  let net, policies = Experiments.university () in
+  Test.make ~name:"ablation-verify/check-175-policies"
+    (Staged.stage (fun () ->
+         let dp = Heimdall_control.Dataplane.compute net in
+         ignore (Heimdall_verify.Policy.check_all dp policies)))
+
+let bench_slicer =
+  let net, _ = Experiments.university () in
+  Test.make ~name:"ablation-slicer/task-slice"
+    (Staged.stage (fun () ->
+         ignore
+           (Heimdall_twin.Slicer.slice Heimdall_twin.Slicer.Task net
+              ~endpoints:[ "dorm1"; "cs1" ])))
+
+let bench_audit =
+  Test.make ~name:"ablation-audit/append100+verify"
+    (Staged.stage (fun () ->
+         let open Heimdall_enforcer in
+         let audit = ref Audit.empty in
+         for i = 1 to 100 do
+           audit :=
+             Audit.append ~actor:"t" ~action:"acl.rule" ~resource:"r"
+               ~detail:(string_of_int i) ~verdict:"allowed" !audit
+         done;
+         assert (Audit.verify !audit = Ok ())))
+
+let bench_dataplane =
+  let net, _ = Experiments.university () in
+  Test.make ~name:"micro/dataplane-university"
+    (Staged.stage (fun () -> ignore (Heimdall_control.Dataplane.compute net)))
+
+let bench_trace =
+  let net, _ = Experiments.enterprise () in
+  let dp = Heimdall_control.Dataplane.compute net in
+  let flow =
+    Heimdall_net.Flow.icmp
+      (Heimdall_net.Ipv4.of_string "10.1.10.11")
+      (Heimdall_net.Ipv4.of_string "10.2.20.11")
+  in
+  Test.make ~name:"micro/trace-one-flow"
+    (Staged.stage (fun () -> ignore (Heimdall_verify.Trace.trace dp flow)))
+
+let bench_privilege =
+  let spec =
+    Heimdall_privilege.Dsl.parse
+      "allow show.*, diag.* on *;\nallow interface.up on r1, r2;\ndeny system.* on *;\n"
+  in
+  Test.make ~name:"micro/privilege-eval"
+    (Staged.stage (fun () ->
+         ignore
+           (Heimdall_privilege.Privilege.allows spec
+              (Heimdall_privilege.Privilege.request "interface.up" "r2"))))
+
+let bench_sha256 =
+  let payload = String.make 4096 'x' in
+  Test.make ~name:"micro/sha256-4KiB"
+    (Staged.stage (fun () -> ignore (Heimdall_enforcer.Sha256.hex payload)))
+
+let all_benches () =
+  [
+    bench_table1;
+    bench_fig7;
+    bench_fig8;
+    bench_fig9;
+    bench_verify;
+    bench_slicer;
+    bench_audit;
+    bench_dataplane;
+    bench_trace;
+    bench_privilege;
+    bench_sha256;
+  ]
+
+let run_benchmarks () =
+  print_string "== Bechamel micro-benchmarks (time per run) ==\n";
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (ns_per_run :: _) ->
+              let s = ns_per_run /. 1e9 in
+              if s >= 0.1 then Printf.printf "  %-42s %10.3f s/run\n" name s
+              else if s >= 1e-4 then Printf.printf "  %-42s %10.3f ms/run\n" name (s *. 1e3)
+              else Printf.printf "  %-42s %10.3f us/run\n" name (s *. 1e6)
+          | Some [] | None -> Printf.printf "  %-42s (no estimate)\n" name)
+        analyzed)
+    (all_benches ());
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let reports =
+  [
+    ("table1", report_table1);
+    ("fig7", report_fig7);
+    ("fig7-university", report_fig7_university);
+    ("fig8", report_fig8);
+    ("fig9", report_fig9);
+    ("ablation-verify", report_ablation_verify);
+    ("ablation-slicer", report_ablation_slicer);
+    ("ablation-audit", report_ablation_audit);
+    ("containment", report_containment);
+    ("campaign", report_campaign);
+    ("micro", run_benchmarks);
+  ]
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: [] -> List.iter (fun (_, f) -> f ()) reports
+  | _ :: names ->
+      List.iter
+        (fun name ->
+          match List.assoc_opt name reports with
+          | Some f -> f ()
+          | None ->
+              Printf.eprintf "unknown report %S; available: %s\n" name
+                (String.concat ", " (List.map fst reports));
+              exit 1)
+        names
+  | [] -> assert false

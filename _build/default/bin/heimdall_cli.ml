@@ -1,0 +1,401 @@
+(* heimdall — command-line interface to the library.
+
+   Subcommands:
+     network    inspect an evaluation network (inventory, validation)
+     config     print a device's configuration
+     mine       mine the policy set of a network
+     trace      trace a flow through a network's dataplane
+     ticket     run an issue through the Current and Heimdall workflows
+     privilege  print the Privilege_msp generated for an issue's ticket
+     sweep      the Figure-8/9 feasibility / attack-surface sweep
+     experiment print a paper artifact (table1, fig7, fig8, fig9, ...)
+     shell      interactive technician session (twin or --emergency)
+     export     write a network to disk in the loader layout
+     load       load + validate a network from disk, mine its policies
+     audit      verify an exported audit trail *)
+
+open Cmdliner
+open Heimdall_net
+open Heimdall_control
+open Heimdall_scenarios
+
+(* ---------------- shared arguments ---------------- *)
+
+let network_of_string = function
+  | "enterprise" -> Ok (Experiments.enterprise ())
+  | "university" -> Ok (Experiments.university ())
+  | s -> Error (Printf.sprintf "unknown network %S (try enterprise or university)" s)
+
+let network_conv =
+  let parse s = Result.map_error (fun m -> `Msg m) (network_of_string s) in
+  let print fmt (net, _) =
+    Format.pp_print_string fmt
+      (if List.mem "r1" (Network.node_names net) then "enterprise" else "university")
+  in
+  Arg.conv (parse, print)
+
+let network_arg =
+  Arg.(
+    required
+    & pos 0 (some network_conv) None
+    & info [] ~docv:"NETWORK" ~doc:"Evaluation network: enterprise or university.")
+
+let issues_of net =
+  if List.mem "r1" (Network.node_names net) then Enterprise.issues net
+  else University.issues net
+
+let issue_arg n =
+  Arg.(
+    required
+    & pos n (some string) None
+    & info [] ~docv:"ISSUE" ~doc:"Issue name: vlan, ospf or isp.")
+
+let find_issue net name =
+  match List.find_opt (fun (i : Heimdall_msp.Issue.t) -> i.name = name) (issues_of net) with
+  | Some i -> Ok i
+  | None -> Error (Printf.sprintf "unknown issue %S (try vlan, ospf or isp)" name)
+
+(* ---------------- network ---------------- *)
+
+let network_cmd =
+  let run (net, policies) =
+    let topo = Network.topology net in
+    Printf.printf "nodes: %d (%d routers, %d firewalls, %d switches, %d hosts)\n"
+      (Topology.node_count topo)
+      (List.length (Topology.node_names ~kind:Topology.Router topo))
+      (List.length (Topology.node_names ~kind:Topology.Firewall topo))
+      (List.length (Topology.node_names ~kind:Topology.Switch topo))
+      (List.length (Topology.node_names ~kind:Topology.Host topo));
+    Printf.printf "links: %d\nconfig lines: %d\npolicies: %d\n"
+      (Topology.link_count topo)
+      (Network.total_config_lines net)
+      (List.length policies);
+    match Network.validate net with
+    | Ok () -> print_endline "validation: ok"
+    | Error m -> Printf.printf "validation: FAILED (%s)\n" m
+  in
+  Cmd.v
+    (Cmd.info "network" ~doc:"Inspect an evaluation network")
+    Term.(const run $ network_arg)
+
+(* ---------------- config ---------------- *)
+
+let config_cmd =
+  let node_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"NODE" ~doc:"Device name.")
+  in
+  let run (net, _) node =
+    match Network.config node net with
+    | Some cfg -> print_string (Heimdall_config.Printer.render cfg)
+    | None ->
+        Printf.eprintf "unknown device %s\n" node;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "config" ~doc:"Print a device's configuration")
+    Term.(const run $ network_arg $ node_arg)
+
+(* ---------------- mine ---------------- *)
+
+let mine_cmd =
+  let run (_, policies) =
+    List.iter (fun p -> print_endline (Heimdall_verify.Policy.to_string p)) policies;
+    Printf.printf "total: %d policies\n" (List.length policies)
+  in
+  Cmd.v
+    (Cmd.info "mine" ~doc:"Mine the policy set of a network (config2spec-style)")
+    Term.(const run $ network_arg)
+
+(* ---------------- trace ---------------- *)
+
+let trace_cmd =
+  let addr n docv =
+    Arg.(required & pos n (some string) None & info [] ~docv ~doc:"IPv4 address.")
+  in
+  let run (net, _) src dst =
+    match (Ipv4.of_string_opt src, Ipv4.of_string_opt dst) with
+    | Some src, Some dst ->
+        let dp = Dataplane.compute net in
+        print_string
+          (Heimdall_verify.Trace.result_to_string
+             (Heimdall_verify.Trace.trace dp (Flow.icmp src dst)))
+    | _ ->
+        prerr_endline "malformed address";
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Trace an ICMP flow through the dataplane")
+    Term.(const run $ network_arg $ addr 1 "SRC" $ addr 2 "DST")
+
+(* ---------------- ticket ---------------- *)
+
+let ticket_cmd =
+  let run (net, policies) issue_name =
+    match find_issue net issue_name with
+    | Error m ->
+        prerr_endline m;
+        exit 1
+    | Ok issue ->
+        print_endline (Heimdall_msp.Issue.to_string issue);
+        let current = Heimdall_msp.Workflow.run_current ~production:net ~issue in
+        print_string (Heimdall_msp.Workflow.run_to_string current);
+        let heimdall =
+          Heimdall_msp.Workflow.run_heimdall ~production:net ~policies ~issue ()
+        in
+        print_string (Heimdall_msp.Workflow.run_to_string heimdall);
+        Printf.printf "Heimdall overhead: +%.1f s\n"
+          (Heimdall_msp.Workflow.total_s heimdall -. Heimdall_msp.Workflow.total_s current)
+  in
+  Cmd.v
+    (Cmd.info "ticket" ~doc:"Run an issue through both workflows")
+    Term.(const run $ network_arg $ issue_arg 1)
+
+(* ---------------- privilege ---------------- *)
+
+let privilege_cmd =
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the JSON front-end format.")
+  in
+  let run (net, _) issue_name json =
+    match find_issue net issue_name with
+    | Error m ->
+        prerr_endline m;
+        exit 1
+    | Ok issue ->
+        let broken = issue.Heimdall_msp.Issue.inject net in
+        let slice =
+          Heimdall_twin.Twin.slice_nodes ~production:broken
+            ~endpoints:issue.Heimdall_msp.Issue.ticket.endpoints ()
+        in
+        let spec =
+          Heimdall_msp.Priv_gen.for_ticket ~network:broken ~slice
+            issue.Heimdall_msp.Issue.ticket
+        in
+        Printf.printf "twin slice: %s\n\n" (String.concat ", " slice);
+        if json then print_endline (Heimdall_privilege.Json_frontend.render ~pretty:true spec)
+        else print_string (Heimdall_privilege.Dsl.render spec)
+  in
+  Cmd.v
+    (Cmd.info "privilege" ~doc:"Print the generated Privilege_msp for an issue")
+    Term.(const run $ network_arg $ issue_arg 1 $ json_flag)
+
+(* ---------------- sweep ---------------- *)
+
+let sweep_cmd =
+  let run (net, policies) =
+    let summaries = Metrics.sweep_all ~production:net ~policies () in
+    print_string
+      (Experiments.render_sweep ~title:"bring down each interface; All vs Neighbor vs Heimdall"
+         summaries)
+  in
+  Cmd.v
+    (Cmd.info "sweep" ~doc:"Feasibility / attack-surface sweep (Figures 8 and 9)")
+    Term.(const run $ network_arg)
+
+(* ---------------- experiment ---------------- *)
+
+let experiment_cmd =
+  let name_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NAME"
+          ~doc:
+            "table1, fig7, fig8, fig9, ablation-verify, ablation-slicer, ablation-audit or containment.")
+  in
+  let run name =
+    match name with
+    | "table1" -> print_string (Experiments.render_table1 (Experiments.table1 ()))
+    | "fig7" ->
+        let cells = Experiments.fig7 () in
+        print_string (Experiments.render_fig7 cells);
+        List.iter
+          (fun (i, o) -> Printf.printf "overhead %s: +%.1f s\n" i o)
+          (Experiments.fig7_overhead cells)
+    | "fig8" ->
+        print_string
+          (Experiments.render_sweep ~title:"Figure 8 (enterprise)" (Experiments.fig8 ()))
+    | "fig9" ->
+        print_string
+          (Experiments.render_sweep ~title:"Figure 9 (university)" (Experiments.fig9 ()))
+    | "ablation-verify" ->
+        print_string (Experiments.render_ablation_verify (Experiments.ablation_verify ()))
+    | "ablation-slicer" ->
+        print_string (Experiments.render_ablation_slicer (Experiments.ablation_slicer ()))
+    | "ablation-audit" ->
+        print_string (Experiments.render_ablation_audit (Experiments.ablation_audit ()))
+    | "containment" ->
+        print_string (Experiments.render_containment (Experiments.attack_containment ()))
+    | other ->
+        Printf.eprintf "unknown experiment %S\n" other;
+        exit 1
+  in
+  Cmd.v (Cmd.info "experiment" ~doc:"Print a paper artifact") Term.(const run $ name_arg)
+
+(* ---------------- audit ---------------- *)
+
+let audit_cmd =
+  let file_arg =
+    Arg.(required & pos 0 (some string) None
+         & info [] ~docv:"FILE" ~doc:"Exported audit trail (JSON lines).")
+  in
+  let run file =
+    let text =
+      match open_in_bin file with
+      | ic ->
+          Fun.protect
+            ~finally:(fun () -> close_in_noerr ic)
+            (fun () -> really_input_string ic (in_channel_length ic))
+      | exception Sys_error m ->
+          prerr_endline m;
+          exit 1
+    in
+    match Heimdall_enforcer.Audit.import text with
+    | Ok audit ->
+        Printf.printf "audit trail verifies: %d records, head %s\n"
+          (Heimdall_enforcer.Audit.length audit)
+          (Heimdall_enforcer.Audit.head audit);
+        print_endline (Heimdall_enforcer.Audit.to_string audit)
+    | Error m ->
+        Printf.eprintf "AUDIT TRAIL REJECTED: %s\n" m;
+        exit 1
+  in
+  Cmd.v
+    (Cmd.info "audit" ~doc:"Verify an exported audit trail (tamper check + listing)")
+    Term.(const run $ file_arg)
+
+(* ---------------- shell ---------------- *)
+
+let shell_cmd =
+  let emergency_flag =
+    Arg.(value & flag & info [ "emergency" ]
+           ~doc:"Bypass the twin: commands hit production through the enforcer.")
+  in
+  let run (net, policies) issue_name emergency =
+    match find_issue net issue_name with
+    | Error m ->
+        prerr_endline m;
+        exit 1
+    | Ok issue ->
+        let broken = issue.Heimdall_msp.Issue.inject net in
+        let endpoints = issue.Heimdall_msp.Issue.ticket.endpoints in
+        let slice =
+          Heimdall_twin.Twin.slice_nodes ~production:broken ~endpoints ()
+        in
+        let privilege =
+          Heimdall_msp.Priv_gen.for_ticket ~network:broken ~slice
+            issue.Heimdall_msp.Issue.ticket
+        in
+        print_endline (Heimdall_msp.Issue.to_string issue);
+        Printf.printf "twin slice: %s\n" (String.concat ", " slice);
+        print_endline "type commands ('quit' to leave; e.g. 'connect r4', 'show ip route'):";
+        if emergency then begin
+          let session =
+            Heimdall_msp.Emergency.open_session ~reason:"operator shell" ~production:broken
+              ~policies ~privilege ()
+          in
+          let rec loop () =
+            print_string "heimdall(EMERGENCY)> ";
+            match read_line () with
+            | exception End_of_file -> ()
+            | "quit" | "exit" -> ()
+            | line when String.trim line = "" -> loop ()
+            | line ->
+                (match Heimdall_msp.Emergency.exec session line with
+                | Ok out -> print_string out
+                | Error r ->
+                    print_endline ("% " ^ Heimdall_msp.Emergency.refusal_to_string r));
+                loop ()
+          in
+          loop ();
+          print_endline "--- emergency audit trail ---";
+          print_endline
+            (Heimdall_enforcer.Audit.to_string (Heimdall_msp.Emergency.audit session))
+        end
+        else begin
+          let em = Heimdall_twin.Twin.build ~production:broken ~endpoints () in
+          let session = Heimdall_twin.Twin.open_session ~privilege em in
+          let rec loop () =
+            print_string "heimdall(twin)> ";
+            match read_line () with
+            | exception End_of_file -> ()
+            | "quit" | "exit" -> ()
+            | line when String.trim line = "" -> loop ()
+            | line ->
+                (match Heimdall_twin.Session.exec session line with
+                | Ok out -> print_string out
+                | Error e ->
+                    print_endline ("% " ^ Heimdall_twin.Session.error_to_string e));
+                loop ()
+          in
+          loop ();
+          print_endline "--- enforcer ---";
+          let outcome =
+            Heimdall_enforcer.Enforcer.process ~production:broken ~policies ~privilege
+              ~session ()
+          in
+          print_string (Heimdall_enforcer.Enforcer.outcome_to_string outcome)
+        end
+  in
+  Cmd.v
+    (Cmd.info "shell"
+       ~doc:"Interactive technician session on a ticket's twin (or production in emergency mode)")
+    Term.(const run $ network_arg $ issue_arg 1 $ emergency_flag)
+
+(* ---------------- export / load ---------------- *)
+
+let export_cmd =
+  let dir_arg =
+    Arg.(required & pos 1 (some string) None & info [] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  let run (net, _) dir =
+    Loader.save_dir dir net;
+    Printf.printf "wrote %s/topology.txt and %d configs\n" dir
+      (List.length (Network.node_names net))
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Write a network to disk in the loader layout")
+    Term.(const run $ network_arg $ dir_arg)
+
+let load_cmd =
+  let dir_arg =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Directory with topology.txt and configs/.")
+  in
+  let run dir =
+    match Loader.load_dir dir with
+    | Error e ->
+        prerr_endline (Loader.error_to_string e);
+        exit 1
+    | Ok net ->
+        let topo = Network.topology net in
+        Printf.printf "loaded %d nodes, %d links; validation ok\n"
+          (Topology.node_count topo) (Topology.link_count topo);
+        let policies =
+          Heimdall_verify.Spec_miner.mine (Dataplane.compute net)
+        in
+        Printf.printf "mined %d policies\n" (List.length policies)
+  in
+  Cmd.v
+    (Cmd.info "load" ~doc:"Load and validate a network from disk, then mine its policies")
+    Term.(const run $ dir_arg)
+
+let () =
+  let doc = "least privilege for managed network services (Heimdall)" in
+  let info = Cmd.info "heimdall" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            network_cmd;
+            config_cmd;
+            mine_cmd;
+            trace_cmd;
+            ticket_cmd;
+            privilege_cmd;
+            sweep_cmd;
+            experiment_cmd;
+            export_cmd;
+            load_cmd;
+            shell_cmd;
+            audit_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/attack_containment.ml: Control Enforcer Heimdall List Msp Net Printf Scenarios Twin

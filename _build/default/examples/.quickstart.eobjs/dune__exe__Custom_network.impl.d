@@ -1,0 +1,1 @@
+examples/custom_network.ml: Config Control Heimdall List Net Printf Privilege Scenarios Verify

@@ -1,0 +1,1 @@
+examples/emergency_mode.ml: Enforcer Heimdall List Msp Printf Privilege Scenarios

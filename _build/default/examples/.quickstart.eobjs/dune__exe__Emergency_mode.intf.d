@@ -1,0 +1,1 @@
+examples/emergency_mode.mli:

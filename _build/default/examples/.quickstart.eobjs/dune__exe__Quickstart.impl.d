@@ -1,0 +1,1 @@
+examples/quickstart.ml: Control Enforcer Heimdall List Msp Printf Privilege Scenarios Twin

@@ -1,0 +1,1 @@
+examples/sdn_twin.ml: Controller Fabric Heimdall_enforcer Heimdall_net Heimdall_privilege Heimdall_sdn Ipv4 List Prefix Printf Privilege Rule Topology Twin_sdn

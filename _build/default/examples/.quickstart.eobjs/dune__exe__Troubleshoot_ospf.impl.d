@@ -1,0 +1,1 @@
+examples/troubleshoot_ospf.ml: Control Enforcer Heimdall List Msp Net Printf Scenarios Verify

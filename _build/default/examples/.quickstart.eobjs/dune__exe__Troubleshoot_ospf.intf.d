@@ -1,0 +1,1 @@
+examples/troubleshoot_ospf.mli:

@@ -1,0 +1,75 @@
+(* The Heimdall workflow on an SDN fabric — the paper's "beyond legacy
+   networks" direction (§7).  A controller compiles connectivity intents
+   into flow tables; a technician edits rules on a twin copy under a
+   least-privilege spec; verification re-checks the intents before the
+   new tables are accepted.
+
+   Run with: dune exec examples/sdn_twin.exe *)
+
+open Heimdall_net
+open Heimdall_sdn
+open Heimdall_privilege
+
+let ip = Ipv4.of_string
+
+let () =
+  (* A two-rack fabric: hosts on leaf switches, one spine. *)
+  let topo =
+    let open Topology in
+    empty
+    |> add_node "leaf1" Switch |> add_node "leaf2" Switch |> add_node "spine" Switch
+    |> add_node "web" Host |> add_node "db" Host |> add_node "guest" Host
+    |> add_link { node = "leaf1"; iface = "up" } { node = "spine"; iface = "d1" }
+    |> add_link { node = "leaf2"; iface = "up" } { node = "spine"; iface = "d2" }
+    |> add_link { node = "web"; iface = "eth0" } { node = "leaf1"; iface = "h1" }
+    |> add_link { node = "guest"; iface = "eth0" } { node = "leaf1"; iface = "h2" }
+    |> add_link { node = "db"; iface = "eth0" } { node = "leaf2"; iface = "h1" }
+  in
+  let hosts = [ ("web", ip "10.0.1.10"); ("db", ip "10.0.2.10"); ("guest", ip "10.0.3.10") ] in
+  let fabric = Fabric.make topo ~hosts in
+  let intents =
+    [
+      Controller.Connect { src = "web"; dst = "db" };
+      Controller.Connect { src = "guest"; dst = "web" };
+      Controller.Block { src = "guest"; dst = "db"; proto = Heimdall_net.Acl.Any_proto };
+    ]
+  in
+  let production = Controller.compile fabric intents in
+  Printf.printf "fabric compiled: %d rules across %d switches; intents hold: %b\n\n"
+    (Fabric.rule_count production)
+    (List.length (Fabric.switches production))
+    (Controller.violations production intents = []);
+
+  (* Ticket: "web cannot be reached from guest after a rule cleanup" —
+     technician gets rule edits on leaf1 only. *)
+  let privilege = Privilege.of_predicates (Twin_sdn.allow_sdn ~switches:[ "leaf1" ] ()) in
+  let session = Twin_sdn.open_session ~privilege production in
+  (match Twin_sdn.show_table session "leaf1" with
+  | Ok t -> Printf.printf "leaf1 table:\n%s\n" t
+  | Error m -> print_endline m);
+
+  (* The technician tries a lazy allow-everything rule on the spine —
+     denied — and then a legitimate scoped rule on leaf1. *)
+  let sloppy = Rule.make ~cookie:"tech" ~priority:500 Rule.any (Rule.Forward "d2") in
+  (match Twin_sdn.install session "spine" sloppy with
+  | Error m -> Printf.printf "spine edit: %s\n" m
+  | Ok () -> print_endline "spine edit allowed (!)");
+  let scoped =
+    Rule.make ~cookie:"tech" ~priority:150
+      (Rule.matcher ~src:(Prefix.of_string "10.0.3.10/32") ~dst:(Prefix.of_string "10.0.2.10/32") ())
+      Rule.Drop
+  in
+  (match Twin_sdn.install session "leaf1" scoped with
+  | Ok () -> print_endline "leaf1 edit applied in the twin"
+  | Error m -> print_endline m);
+
+  (* Verification: intents must still hold. *)
+  let outcome = Twin_sdn.verify session ~baseline:production ~intents in
+  Printf.printf "\nverification: %s\n"
+    (if outcome.Twin_sdn.approved then "approved" else "rejected");
+  List.iter
+    (fun i -> Printf.printf "  violated: %s\n" (Controller.intent_to_string i))
+    outcome.Twin_sdn.violated;
+  Printf.printf "audit records: %d (verifies: %b)\n"
+    (Heimdall_enforcer.Audit.length (Twin_sdn.audit session))
+    (Heimdall_enforcer.Audit.verify (Twin_sdn.audit session) = Ok ())

@@ -1,0 +1,1 @@
+lib/config/ast.ml: Acl Heimdall_net Ifaddr Int Ipv4 List Option Prefix String

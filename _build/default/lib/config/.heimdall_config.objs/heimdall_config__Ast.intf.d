@@ -1,0 +1,1 @@
+lib/config/ast.mli: Acl Heimdall_net Ifaddr Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/config/change.ml: Acl Ast Format Heimdall_net Ifaddr Ipv4 List Map Option Prefix Printf String

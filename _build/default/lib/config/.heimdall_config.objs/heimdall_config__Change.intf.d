@@ -1,0 +1,1 @@
+lib/config/change.mli: Acl Ast Format Heimdall_net Ifaddr Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/config/parser.ml: Acl Ast Flow Hashtbl Heimdall_net Ifaddr Ipv4 List Prefix Printf String

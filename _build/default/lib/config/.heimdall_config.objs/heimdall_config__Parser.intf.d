@@ -1,0 +1,1 @@
+lib/config/parser.mli: Ast Heimdall_net

@@ -1,0 +1,1 @@
+lib/config/printer.ml: Acl Ast Buffer Heimdall_net Ifaddr Ipv4 List Option Prefix Printf String

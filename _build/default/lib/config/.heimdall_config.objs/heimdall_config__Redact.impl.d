@@ -1,0 +1,1 @@
+lib/config/redact.ml: Ast List String

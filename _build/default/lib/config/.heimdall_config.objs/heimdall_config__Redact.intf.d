@@ -1,0 +1,1 @@
+lib/config/redact.mli: Ast

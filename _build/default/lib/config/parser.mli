@@ -1,0 +1,21 @@
+(** Parser for the configuration language rendered by {!Printer}.
+
+    The format is line-oriented: top-level commands start in column 0,
+    stanza bodies (interface / router / vlan) are indented by at least one
+    space, and [!] lines are separators.  Unknown lines raise — technician
+    edits must be well-formed before they reach any device. *)
+
+exception Parse_error of int * string
+(** [(line_number, message)], 1-based line numbers. *)
+
+val parse : string -> Ast.t
+(** Parse a full device configuration.
+    @raise Parse_error on the first malformed line. *)
+
+val parse_result : string -> (Ast.t, int * string) result
+(** Non-raising variant. *)
+
+val parse_acl_rule : string -> Heimdall_net.Acl.rule
+(** Parse just the rule part of an access-list line, i.e. the text after
+    the ACL name: ["10 deny tcp 10.0.2.0/24 any eq 80"].
+    @raise Parse_error (with line 0) on malformed input. *)

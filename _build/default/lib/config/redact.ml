@@ -1,0 +1,26 @@
+let placeholder = "REDACTED"
+
+let scrub_secret (s : Ast.secret) : Ast.secret =
+  match s with
+  | Enable_secret _ -> Enable_secret placeholder
+  | Snmp_community _ -> Snmp_community placeholder
+  | Ipsec_key (_, peer) -> Ipsec_key (placeholder, peer)
+  | User_password (u, _) -> User_password (u, placeholder)
+
+let scrub (c : Ast.t) = { c with secrets = List.map scrub_secret c.secrets }
+
+let is_scrubbed (c : Ast.t) =
+  List.for_all (fun s -> Ast.secret_value s = placeholder) c.secrets
+
+let contains_substring haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  if nl = 0 then true
+  else
+    let rec go i = i + nl <= hl && (String.sub haystack i nl = needle || go (i + 1)) in
+    go 0
+
+let leaked_secrets ~(production : Ast.t) text =
+  production.secrets
+  |> List.map Ast.secret_value
+  |> List.filter (fun v -> v <> placeholder && contains_substring text v)
+  |> List.sort_uniq String.compare

@@ -1,0 +1,23 @@
+(** Secret redaction for twin networks.
+
+    The twin must let a technician read configs without exposing the
+    production network's credentials (the paper's Challenge 2: cloning all
+    elements "can expose sensitive data (e.g., an IPSec key)").  [scrub]
+    replaces every secret with a deterministic placeholder that keeps the
+    config parseable and structurally identical. *)
+
+val placeholder : string
+(** The replacement token, ["<redacted>"]-style but config-token safe. *)
+
+val scrub : Ast.t -> Ast.t
+(** Replace all secret values (enable secrets, SNMP communities, IPsec
+    keys, user passwords) with {!placeholder}.  Usernames and peers are
+    preserved; only the sensitive strings change. *)
+
+val is_scrubbed : Ast.t -> bool
+(** True iff every secret value in the config is {!placeholder}. *)
+
+val leaked_secrets : production:Ast.t -> string -> string list
+(** [leaked_secrets ~production text] lists every secret value of the
+    production config occurring verbatim in [text] — used to audit command
+    output for leaks. *)

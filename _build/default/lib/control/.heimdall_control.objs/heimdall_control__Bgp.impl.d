@@ -1,0 +1,1 @@
+lib/control/bgp.ml: Ast Fib Hashtbl Heimdall_config Heimdall_net Ifaddr Ipv4 L2 List Network Option Prefix String Topology

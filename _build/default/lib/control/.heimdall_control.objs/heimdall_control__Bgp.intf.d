@@ -1,0 +1,1 @@
+lib/control/bgp.mli: Fib Heimdall_net Ifaddr L2 Network

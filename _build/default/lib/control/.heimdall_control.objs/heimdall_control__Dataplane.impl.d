@@ -1,0 +1,1 @@
+lib/control/dataplane.ml: Ast Bgp Fib Heimdall_config Heimdall_net Ifaddr L2 List Map Network Option Ospf Prefix String Topology

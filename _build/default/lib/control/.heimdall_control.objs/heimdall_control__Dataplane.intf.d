@@ -1,0 +1,1 @@
+lib/control/dataplane.mli: Fib Heimdall_net Ipv4 L2 Network

@@ -1,0 +1,1 @@
+lib/control/fib.ml: Format Heimdall_net Ipv4 List Option Prefix Prefix_trie Printf Stdlib

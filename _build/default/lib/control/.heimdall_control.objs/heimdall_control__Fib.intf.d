@@ -1,0 +1,1 @@
+lib/control/fib.mli: Format Heimdall_net Ipv4 Prefix

@@ -1,0 +1,1 @@
+lib/control/l2.ml: Ast Hashtbl Heimdall_config Heimdall_net Int List Network Option Printf String Topology

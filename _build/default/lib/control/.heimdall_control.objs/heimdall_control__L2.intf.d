@@ -1,0 +1,1 @@
+lib/control/l2.mli: Heimdall_net Network Topology

@@ -1,0 +1,1 @@
+lib/control/loader.ml: Buffer Filename Fun Heimdall_config Heimdall_net List Network Parser Printer Printf Result String Sys Topology

@@ -1,0 +1,1 @@
+lib/control/loader.mli: Heimdall_net Network

@@ -1,0 +1,1 @@
+lib/control/network.ml: Ast Change Heimdall_config Heimdall_net Ifaddr Ipv4 List Map Option Prefix Printer Printf String Topology

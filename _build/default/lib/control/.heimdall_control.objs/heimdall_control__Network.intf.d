@@ -1,0 +1,1 @@
+lib/control/network.mli: Ast Change Heimdall_config Heimdall_net Ipv4 Prefix Topology

@@ -1,0 +1,1 @@
+lib/control/ospf.ml: Ast Fib Graph Hashtbl Heimdall_config Heimdall_net Ifaddr Int L2 List Network Option Prefix String Topology

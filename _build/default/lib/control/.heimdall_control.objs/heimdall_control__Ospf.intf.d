@@ -1,0 +1,1 @@
+lib/control/ospf.mli: Fib Heimdall_net Ifaddr L2 Network

@@ -1,0 +1,167 @@
+open Heimdall_net
+open Heimdall_config
+
+type session = {
+  local : string;
+  local_addr : Ifaddr.t;
+  peer_router : string;
+  peer_addr : Ifaddr.t;
+  peer_as : int;
+}
+
+let bgp_routers net =
+  List.filter_map
+    (fun (name, (cfg : Ast.t)) -> Option.map (fun b -> (name, cfg, b)) cfg.bgp)
+    (Network.configs net)
+
+let l3_adjacent net l2 (a_node, a_iface, a_addr) (b_node, b_iface, b_addr) =
+  ignore net;
+  Ifaddr.same_subnet a_addr b_addr
+  && L2.same_domain
+       { Topology.node = a_node; iface = a_iface }
+       { Topology.node = b_node; iface = b_iface }
+       l2
+
+let sessions net l2 =
+  let routers = bgp_routers net in
+  let find_iface_with_addr (cfg : Ast.t) target =
+    List.find_map
+      (fun (i : Ast.interface) ->
+        match i.addr with
+        | Some a when i.enabled && Ipv4.equal (Ifaddr.address a) target -> Some (i.if_name, a)
+        | _ -> None)
+      cfg.interfaces
+  in
+  List.concat_map
+    (fun (local, local_cfg, (b : Ast.bgp)) ->
+      List.filter_map
+        (fun (n : Ast.bgp_neighbor) ->
+          (* Find the router owning the peer address, check the reciprocal
+             neighbour statement and AS numbers, and require adjacency. *)
+          List.find_map
+            (fun (peer_router, peer_cfg, (pb : Ast.bgp)) ->
+              if peer_router = local then None
+              else
+                match find_iface_with_addr peer_cfg n.peer with
+                | None -> None
+                | Some (peer_iface, peer_addr) ->
+                    if pb.local_as <> n.remote_as then None
+                    else
+                      (* The peer must name one of our addresses with our AS. *)
+                      List.find_map
+                        (fun (back : Ast.bgp_neighbor) ->
+                          if back.remote_as <> b.local_as then None
+                          else
+                            match find_iface_with_addr local_cfg back.peer with
+                            | None -> None
+                            | Some (local_iface, local_addr) ->
+                                if
+                                  l3_adjacent net l2
+                                    (local, local_iface, local_addr)
+                                    (peer_router, peer_iface, peer_addr)
+                                then
+                                  Some
+                                    {
+                                      local;
+                                      local_addr;
+                                      peer_router;
+                                      peer_addr;
+                                      peer_as = pb.local_as;
+                                    }
+                                else None)
+                        pb.bgp_neighbors)
+            routers)
+        b.bgp_neighbors)
+    routers
+
+let all_routes net l2 =
+  let routers = bgp_routers net in
+  let sess = sessions net l2 in
+  (* rib.(router)(prefix) -> (as_path_len, next_hop addr, out iface, origin router) *)
+  let rib : (string * string, int * Ipv4.t * string) Hashtbl.t = Hashtbl.create 32 in
+  let out_iface_to peer_addr local =
+    List.find_map
+      (fun s ->
+        if s.local = local && Ipv4.equal (Ifaddr.address s.peer_addr) peer_addr then
+          (* egress interface is the one holding our side's address *)
+          match Network.config local net with
+          | None -> None
+          | Some cfg ->
+              List.find_map
+                (fun (i : Ast.interface) ->
+                  match i.addr with
+                  | Some a when Ifaddr.equal a s.local_addr -> Some i.if_name
+                  | _ -> None)
+                cfg.interfaces
+        else None)
+      sess
+  in
+  (* Seed: locally originated networks (path length 0, no next hop — these
+     become candidates only on remote routers, so we keep them separately). *)
+  let originated =
+    List.concat_map
+      (fun (r, _, (b : Ast.bgp)) -> List.map (fun p -> (r, p)) b.advertised)
+      routers
+  in
+  (* Propagate to a fixpoint: a router advertises everything it originates
+     or has learned to every session peer; receivers keep the shortest AS
+     path and ignore routes they originated (loop suppression by origin). *)
+  let changed = ref true in
+  let rounds = ref 0 in
+  while !changed && !rounds < 32 do
+    changed := false;
+    incr rounds;
+    List.iter
+      (fun s ->
+        (* s.local learns from s.peer_router. *)
+        let learnable =
+          List.filter_map
+            (fun (origin, p) ->
+              if origin = s.peer_router then Some (Prefix.to_string p, 1) else None)
+            originated
+          @ Hashtbl.fold
+              (fun (r, p) (len, _, _) acc ->
+                if r = s.peer_router then (p, len + 1) :: acc else acc)
+              rib []
+        in
+        List.iter
+          (fun (prefix_s, len) ->
+            let locally_originated =
+              List.exists
+                (fun (o, p) -> o = s.local && Prefix.to_string p = prefix_s)
+                originated
+            in
+            if not locally_originated then
+              let key = (s.local, prefix_s) in
+              let better =
+                match Hashtbl.find_opt rib key with
+                | Some (cur, _, _) -> len < cur
+                | None -> true
+              in
+              if better then
+                match out_iface_to (Ifaddr.address s.peer_addr) s.local with
+                | Some iface ->
+                    Hashtbl.replace rib key (len, Ifaddr.address s.peer_addr, iface);
+                    changed := true
+                | None -> ())
+          learnable)
+      sess
+  done;
+  let per_router = Hashtbl.create 8 in
+  Hashtbl.iter
+    (fun (router, prefix_s) (len, next_hop, out_iface) ->
+      let route =
+        {
+          Fib.prefix = Prefix.of_string prefix_s;
+          next_hop = Some next_hop;
+          out_iface;
+          protocol = Fib.Bgp;
+          distance = Fib.admin_distance Fib.Bgp;
+          metric = len;
+        }
+      in
+      let cur = Option.value (Hashtbl.find_opt per_router router) ~default:[] in
+      Hashtbl.replace per_router router (route :: cur))
+    rib;
+  Hashtbl.fold (fun r rs acc -> (r, rs) :: acc) per_router []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)

@@ -1,0 +1,23 @@
+(** A deliberately small BGP model, enough for the paper's ISP
+    reconfiguration scenario: eBGP sessions between directly reachable,
+    mutually configured neighbours; advertised networks propagate hop by
+    hop with AS-path-length metrics and loop suppression. *)
+
+open Heimdall_net
+
+type session = {
+  local : string;  (** Router name. *)
+  local_addr : Ifaddr.t;
+  peer_router : string;
+  peer_addr : Ifaddr.t;
+  peer_as : int;
+}
+
+val sessions : Network.t -> L2.t -> session list
+(** Established sessions (each direction listed once per router).  A
+    session forms when both routers configure each other's interface
+    address with the correct remote AS and the interfaces are L3
+    adjacent. *)
+
+val all_routes : Network.t -> L2.t -> (string * Fib.route list) list
+(** BGP candidate routes per router after propagation converges. *)

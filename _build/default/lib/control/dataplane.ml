@@ -1,0 +1,123 @@
+open Heimdall_net
+open Heimdall_config
+module Smap = Map.Make (String)
+
+type t = { network : Network.t; l2 : L2.t; fibs : Fib.t Smap.t }
+
+let connected_routes net node =
+  match Network.config node net with
+  | None -> []
+  | Some cfg ->
+      List.filter_map
+        (fun (i : Ast.interface) ->
+          match i.addr with
+          | Some a when i.enabled ->
+              Some
+                {
+                  Fib.prefix = Ifaddr.subnet a;
+                  next_hop = None;
+                  out_iface = i.if_name;
+                  protocol = Fib.Connected;
+                  distance = Fib.admin_distance Fib.Connected;
+                  metric = 0;
+                }
+          | _ -> None)
+        cfg.interfaces
+
+let resolve_next_hop net node nh =
+  (* The next hop must sit inside a connected (enabled) subnet; the route
+     then leaves through that interface. *)
+  match Network.config node net with
+  | None -> None
+  | Some cfg ->
+      List.find_map
+        (fun (i : Ast.interface) ->
+          match i.addr with
+          | Some a when i.enabled && Prefix.contains (Ifaddr.subnet a) nh -> Some i.if_name
+          | _ -> None)
+        cfg.interfaces
+
+let static_routes net node =
+  match Network.config node net with
+  | None -> []
+  | Some cfg ->
+      let explicit =
+        List.filter_map
+          (fun (r : Ast.static_route) ->
+            match resolve_next_hop net node r.sr_next_hop with
+            | Some out_iface ->
+                Some
+                  {
+                    Fib.prefix = r.sr_prefix;
+                    next_hop = Some r.sr_next_hop;
+                    out_iface;
+                    protocol = Fib.Static;
+                    distance = r.sr_distance;
+                    metric = 0;
+                  }
+            | None -> None)
+          cfg.static_routes
+      in
+      let gateway =
+        match cfg.default_gateway with
+        | None -> []
+        | Some gw -> (
+            match resolve_next_hop net node gw with
+            | Some out_iface ->
+                [
+                  {
+                    Fib.prefix = Prefix.any;
+                    next_hop = Some gw;
+                    out_iface;
+                    protocol = Fib.Static;
+                    distance = 1;
+                    metric = 0;
+                  };
+                ]
+            | None -> [])
+      in
+      explicit @ gateway
+
+let compute network =
+  let l2 = L2.compute network in
+  let ospf = Ospf.all_routes network l2 in
+  let bgp = Bgp.all_routes network l2 in
+  let fibs =
+    List.fold_left
+      (fun acc node ->
+        let candidates =
+          connected_routes network node
+          @ static_routes network node
+          @ Option.value (List.assoc_opt node ospf) ~default:[]
+          @ Option.value (List.assoc_opt node bgp) ~default:[]
+        in
+        Smap.add node (Fib.of_candidates candidates) acc)
+      Smap.empty (Network.node_names network)
+  in
+  { network; l2; fibs }
+
+let network t = t.network
+let l2 t = t.l2
+let fib node t = Option.value (Smap.find_opt node t.fibs) ~default:Fib.empty
+
+let l3_neighbour t node addr =
+  match Network.owner_of_address addr t.network with
+  | None -> None
+  | Some (peer_node, peer_iface) ->
+      let peer_ep = { Topology.node = peer_node; iface = peer_iface } in
+      let my_ifaces =
+        match Network.config node t.network with
+        | None -> []
+        | Some cfg -> cfg.interfaces
+      in
+      if
+        List.exists
+          (fun (i : Ast.interface) ->
+            i.enabled
+            && L2.same_domain { Topology.node; iface = i.if_name } peer_ep t.l2)
+          my_ifaces
+      then Some (peer_node, peer_iface)
+      else None
+
+let route_counts t =
+  Smap.bindings t.fibs |> List.map (fun (n, f) -> (n, Fib.route_count f))

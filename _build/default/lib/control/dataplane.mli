@@ -1,0 +1,33 @@
+(** The computed dataplane: one FIB per L3 device plus the L2 domain map.
+    This is what the verification layer traces flows over — the moral
+    equivalent of Batfish's dataplane. *)
+
+open Heimdall_net
+
+type t
+
+val compute : Network.t -> t
+(** Run the whole control plane: connected + static + OSPF + BGP routes,
+    admin-distance selection, per-node FIBs, plus host default gateways. *)
+
+val network : t -> Network.t
+val l2 : t -> L2.t
+
+val fib : string -> t -> Fib.t
+(** FIB of a node (empty for switches and unknown nodes). *)
+
+val connected_routes : Network.t -> string -> Fib.route list
+(** Connected candidates of a node (exposed for tests). *)
+
+val static_routes : Network.t -> string -> Fib.route list
+(** Static candidates, including the host default-gateway route; a static
+    route whose next hop is not inside any connected subnet is ignored
+    (unresolvable). *)
+
+val l3_neighbour : t -> string -> Ipv4.t -> (string * string) option
+(** [l3_neighbour dp node addr] finds which [(peer_node, peer_iface)] the
+    given node can hand a packet for next-hop [addr] to: the owner of
+    [addr] must share an L2 domain with one of [node]'s interfaces. *)
+
+val route_counts : t -> (string * int) list
+(** Installed route count per node (diagnostics / benches). *)

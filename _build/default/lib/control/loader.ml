@@ -1,0 +1,129 @@
+open Heimdall_net
+open Heimdall_config
+
+type error = { where : string; line : int; message : string }
+
+let error_to_string e =
+  if e.line > 0 then Printf.sprintf "%s:%d: %s" e.where e.line e.message
+  else Printf.sprintf "%s: %s" e.where e.message
+
+let err where line fmt =
+  Printf.ksprintf (fun message -> Error { where; line; message }) fmt
+
+let ( let* ) = Result.bind
+
+let endpoint_of_string where lineno s =
+  match String.index_opt s ':' with
+  | Some i when i > 0 && i < String.length s - 1 ->
+      Ok
+        {
+          Topology.node = String.sub s 0 i;
+          iface = String.sub s (i + 1) (String.length s - i - 1);
+        }
+  | _ -> err where lineno "malformed endpoint %S (want node:iface)" s
+
+let parse_topology text =
+  let where = "topology" in
+  let lines = String.split_on_char '\n' text in
+  let rec go topo lineno = function
+    | [] -> Ok topo
+    | raw :: rest -> (
+        let line =
+          match String.index_opt raw '#' with
+          | Some i -> String.sub raw 0 i
+          | None -> raw
+        in
+        let words =
+          String.split_on_char ' ' (String.trim line) |> List.filter (fun w -> w <> "")
+        in
+        match words with
+        | [] -> go topo (lineno + 1) rest
+        | [ "node"; name; kind ] -> (
+            match Topology.node_kind_of_string kind with
+            | None -> err where lineno "unknown node kind %S" kind
+            | Some kind -> (
+                match Topology.add_node name kind topo with
+                | topo -> go topo (lineno + 1) rest
+                | exception Invalid_argument m -> err where lineno "%s" m))
+        | [ "link"; a; b ] -> (
+            let* ea = endpoint_of_string where lineno a in
+            let* eb = endpoint_of_string where lineno b in
+            match Topology.add_link ea eb topo with
+            | topo -> go topo (lineno + 1) rest
+            | exception Invalid_argument m -> err where lineno "%s" m)
+        | w :: _ -> err where lineno "unknown directive %S" w)
+  in
+  go Topology.empty 1 lines
+
+let load ~topology ~configs =
+  let* topo = parse_topology topology in
+  let rec parse_configs acc = function
+    | [] -> Ok (List.rev acc)
+    | (name, text) :: rest -> (
+        match Parser.parse_result text with
+        | Ok cfg -> parse_configs ((name, cfg) :: acc) rest
+        | Error (line, message) -> Error { where = name; line; message })
+  in
+  let* parsed = parse_configs [] configs in
+  match Network.make topo parsed with
+  | net -> (
+      match Network.validate net with
+      | Ok () -> Ok net
+      | Error m -> Error { where = "network"; line = 0; message = m })
+  | exception Invalid_argument m -> Error { where = "network"; line = 0; message = m }
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_dir dir =
+  let topo_path = Filename.concat dir "topology.txt" in
+  match read_file topo_path with
+  | exception Sys_error m -> Error { where = topo_path; line = 0; message = m }
+  | topology -> (
+      let* topo = parse_topology topology in
+      let cfg_dir = Filename.concat dir "configs" in
+      let rec collect acc = function
+        | [] -> Ok (List.rev acc)
+        | node :: rest -> (
+            let path = Filename.concat cfg_dir (node ^ ".cfg") in
+            match read_file path with
+            | text -> collect ((node, text) :: acc) rest
+            | exception Sys_error m -> Error { where = path; line = 0; message = m })
+      in
+      let* configs = collect [] (Topology.node_names topo) in
+      load ~topology ~configs)
+
+let save_dir dir net =
+  let mkdir d = if not (Sys.file_exists d) then Sys.mkdir d 0o755 in
+  mkdir dir;
+  mkdir (Filename.concat dir "configs");
+  let write path content =
+    let oc = open_out_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc content)
+  in
+  let topo = Network.topology net in
+  let buf = Buffer.create 1024 in
+  List.iter
+    (fun (n : Topology.node) ->
+      Buffer.add_string buf
+        (Printf.sprintf "node %s %s\n" n.name (Topology.node_kind_to_string n.kind)))
+    (Topology.nodes topo);
+  List.iter
+    (fun (l : Topology.link) ->
+      Buffer.add_string buf
+        (Printf.sprintf "link %s %s\n"
+           (Topology.endpoint_to_string l.a)
+           (Topology.endpoint_to_string l.b)))
+    (List.rev (Topology.links topo));
+  write (Filename.concat dir "topology.txt") (Buffer.contents buf);
+  List.iter
+    (fun (name, cfg) ->
+      write
+        (Filename.concat (Filename.concat dir "configs") (name ^ ".cfg"))
+        (Printer.render cfg))
+    (Network.configs net)

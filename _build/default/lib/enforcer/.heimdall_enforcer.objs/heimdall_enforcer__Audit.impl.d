@@ -1,0 +1,1 @@
+lib/enforcer/audit.ml: Heimdall_json Heimdall_twin List Option Printf Sha256 String

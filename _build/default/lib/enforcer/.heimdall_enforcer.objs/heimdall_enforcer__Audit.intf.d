@@ -1,0 +1,1 @@
+lib/enforcer/audit.mli: Heimdall_twin

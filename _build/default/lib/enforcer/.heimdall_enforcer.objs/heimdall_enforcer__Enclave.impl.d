@@ -1,0 +1,1 @@
+lib/enforcer/enclave.ml: Buffer Char Printf Sha256 String

@@ -1,0 +1,1 @@
+lib/enforcer/enclave.mli:

@@ -1,0 +1,1 @@
+lib/enforcer/enforcer.ml: Audit Buffer Change Enclave Heimdall_config Heimdall_control Heimdall_twin Heimdall_verify List Policy Printf Reachability Scheduler String Verifier

@@ -1,0 +1,1 @@
+lib/enforcer/enforcer.mli: Audit Enclave Heimdall_control Heimdall_privilege Heimdall_twin Heimdall_verify Network Policy Privilege Reachability Scheduler Verifier

@@ -1,0 +1,1 @@
+lib/enforcer/scheduler.ml: Buffer Change Dataplane Heimdall_config Heimdall_control Heimdall_verify List Network Policy Printf

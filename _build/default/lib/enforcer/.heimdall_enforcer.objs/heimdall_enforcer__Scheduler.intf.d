@@ -1,0 +1,1 @@
+lib/enforcer/scheduler.mli: Change Heimdall_config Heimdall_control Heimdall_verify Network Policy

@@ -1,0 +1,1 @@
+lib/enforcer/sha256.mli:

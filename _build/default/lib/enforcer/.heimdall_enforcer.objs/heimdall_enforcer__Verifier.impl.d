@@ -1,0 +1,1 @@
+lib/enforcer/verifier.ml: Action Change Dataplane Heimdall_config Heimdall_control Heimdall_privilege Heimdall_verify List Network Policy Printf Privilege

@@ -1,0 +1,1 @@
+lib/enforcer/verifier.mli: Action Change Heimdall_config Heimdall_control Heimdall_privilege Heimdall_verify Network Policy Privilege

@@ -1,0 +1,144 @@
+type record = {
+  seq : int;
+  actor : string;
+  action : string;
+  resource : string;
+  detail : string;
+  verdict : string;
+  prev_hash : string;
+  hash : string;
+}
+
+let genesis_hash = Sha256.hex "heimdall-audit-genesis"
+
+(* Records are stored newest first; [records] reverses. *)
+type t = { entries : record list; count : int }
+
+let empty = { entries = []; count = 0 }
+
+let record_body ~seq ~actor ~action ~resource ~detail ~verdict ~prev_hash =
+  (* An unambiguous encoding: length-prefixed fields. *)
+  let field s = Printf.sprintf "%d:%s" (String.length s) s in
+  String.concat "|"
+    [
+      string_of_int seq;
+      field actor;
+      field action;
+      field resource;
+      field detail;
+      field verdict;
+      prev_hash;
+    ]
+
+let head t = match t.entries with [] -> genesis_hash | r :: _ -> r.hash
+
+let append ~actor ~action ~resource ~detail ~verdict t =
+  let seq = t.count + 1 in
+  let prev_hash = head t in
+  let hash =
+    Sha256.hex (record_body ~seq ~actor ~action ~resource ~detail ~verdict ~prev_hash)
+  in
+  let r = { seq; actor; action; resource; detail; verdict; prev_hash; hash } in
+  { entries = r :: t.entries; count = seq }
+
+let of_session_log entries =
+  List.fold_left
+    (fun t (e : Heimdall_twin.Session.log_entry) ->
+      append ~actor:e.technician ~action:e.action ~resource:e.node ~detail:e.command
+        ~verdict:
+          (match e.verdict with
+          | Heimdall_twin.Session.Allowed -> "allowed"
+          | Heimdall_twin.Session.Denied -> "denied")
+        t)
+    empty entries
+
+let records t = List.rev t.entries
+let length t = t.count
+
+let verify t =
+  let rec go prev_hash expected_seq = function
+    | [] -> Ok ()
+    | r :: rest ->
+        if r.seq <> expected_seq then
+          Error (Printf.sprintf "record %d: unexpected sequence (wanted %d)" r.seq expected_seq)
+        else if r.prev_hash <> prev_hash then
+          Error (Printf.sprintf "record %d: broken chain link" r.seq)
+        else
+          let recomputed =
+            Sha256.hex
+              (record_body ~seq:r.seq ~actor:r.actor ~action:r.action ~resource:r.resource
+                 ~detail:r.detail ~verdict:r.verdict ~prev_hash:r.prev_hash)
+          in
+          if recomputed <> r.hash then
+            Error (Printf.sprintf "record %d: content hash mismatch" r.seq)
+          else go r.hash (expected_seq + 1) rest
+  in
+  go genesis_hash 1 (records t)
+
+let tamper seq f t =
+  { t with entries = List.map (fun r -> if r.seq = seq then f r else r) t.entries }
+
+let to_string t =
+  records t
+  |> List.map (fun r ->
+         Printf.sprintf "#%d %s %s on %s [%s] %s %s" r.seq r.actor r.action r.resource
+           r.detail r.verdict
+           (String.sub r.hash 0 12))
+  |> String.concat "\n"
+
+(* ------------------------------------------------------------------ *)
+(* Persistence                                                          *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Heimdall_json.Json
+
+let record_to_json r =
+  Json.Obj
+    [
+      ("seq", Json.Int r.seq);
+      ("actor", Json.String r.actor);
+      ("action", Json.String r.action);
+      ("resource", Json.String r.resource);
+      ("detail", Json.String r.detail);
+      ("verdict", Json.String r.verdict);
+      ("prev_hash", Json.String r.prev_hash);
+      ("hash", Json.String r.hash);
+    ]
+
+let export t =
+  records t
+  |> List.map (fun r -> Json.to_string (record_to_json r))
+  |> String.concat "\n"
+
+let record_of_json json =
+  let ( let* ) = Option.bind in
+  let str k = Option.bind (Json.member k json) Json.to_string_opt in
+  let* seq = Option.bind (Json.member "seq" json) Json.to_int_opt in
+  let* actor = str "actor" in
+  let* action = str "action" in
+  let* resource = str "resource" in
+  let* detail = str "detail" in
+  let* verdict = str "verdict" in
+  let* prev_hash = str "prev_hash" in
+  let* hash = str "hash" in
+  Some { seq; actor; action; resource; detail; verdict; prev_hash; hash }
+
+let import text =
+  let lines =
+    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+  in
+  let rec parse acc lineno = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest -> (
+        match Json.of_string_opt line with
+        | None -> Error (Printf.sprintf "line %d: not valid JSON" lineno)
+        | Some json -> (
+            match record_of_json json with
+            | None -> Error (Printf.sprintf "line %d: malformed audit record" lineno)
+            | Some r -> parse (r :: acc) (lineno + 1) rest))
+  in
+  match parse [] 1 lines with
+  | Error _ as e -> e
+  | Ok rs -> (
+      let t = { entries = List.rev rs; count = List.length rs } in
+      match verify t with Ok () -> Ok t | Error m -> Error ("chain verification failed: " ^ m))

@@ -1,0 +1,60 @@
+(** Tamper-evident audit trail: a hash chain of records.
+
+    Each record's hash covers its content and the previous record's hash;
+    the chain head is a commitment to the whole history.  Any modification,
+    insertion, deletion or reordering of past records breaks {!verify}.
+    The enforcer seals the head inside the (simulated) enclave. *)
+
+type record = {
+  seq : int;
+  actor : string;
+  action : string;  (** Privilege-taxonomy action or enforcer event name. *)
+  resource : string;  (** Device (and interface) acted on. *)
+  detail : string;  (** Free-form: command text, change description... *)
+  verdict : string;  (** "allowed" / "denied" / "approved" / "rejected". *)
+  prev_hash : string;  (** Hex hash of the previous record ("genesis" sentinel first). *)
+  hash : string;  (** Hex hash of this record. *)
+}
+
+val genesis_hash : string
+
+type t
+(** An append-only trail. *)
+
+val empty : t
+
+val append : actor:string -> action:string -> resource:string -> detail:string ->
+  verdict:string -> t -> t
+(** Append one record, computing its chained hash. *)
+
+val of_session_log : Heimdall_twin.Session.log_entry list -> t
+(** Chain a whole technician session log. *)
+
+val records : t -> record list
+(** Oldest first. *)
+
+val length : t -> int
+
+val head : t -> string
+(** Hash of the newest record ({!genesis_hash} when empty). *)
+
+val verify : t -> (unit, string) result
+(** Recompute every hash and check the chain links. *)
+
+val tamper : int -> (record -> record) -> t -> t
+(** [tamper seq f t] applies [f] to the record with sequence [seq]
+    {e without} rehashing — a test helper that simulates an attacker
+    editing history in place. *)
+
+val to_string : t -> string
+(** One line per record. *)
+
+(** {2 Persistence} — audit trails are "reviewed later" (paper §3), so
+    they must survive the session that produced them. *)
+
+val export : t -> string
+(** Serialise as JSON lines (one record per line, oldest first). *)
+
+val import : string -> (t, string) result
+(** Parse an exported trail {e and verify the whole chain}: a file whose
+    records were edited, dropped, reordered or spliced is rejected. *)

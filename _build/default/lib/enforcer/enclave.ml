@@ -1,0 +1,54 @@
+(* The "platform key" of the simulated CPU.  On real hardware this never
+   leaves the die; here it is a constant because the simulation only needs
+   the protocol shape, not actual secrecy. *)
+let platform_key = "heimdall-simulated-platform-fuse-key"
+
+type t = { code_identity : string; meas : string; seal_key : string }
+
+let expected_measurement ~code_identity = Sha256.hex code_identity
+
+let load ~code_identity =
+  let meas = expected_measurement ~code_identity in
+  (* The sealing key derives from platform key + measurement, as in SGX's
+     MRENCLAVE key policy. *)
+  let seal_key = Sha256.hmac ~key:platform_key ("seal|" ^ meas) in
+  { code_identity; meas; seal_key }
+
+let measurement t = t.meas
+
+(* Stream cipher: SHA-256 in counter mode under the sealing key. *)
+let keystream key len =
+  let buf = Buffer.create (len + 32) in
+  let counter = ref 0 in
+  while Buffer.length buf < len do
+    Buffer.add_string buf (Sha256.digest (Printf.sprintf "%s|%d" key !counter));
+    incr counter
+  done;
+  Buffer.sub buf 0 len
+
+let xor_with key s =
+  let ks = keystream key (String.length s) in
+  String.init (String.length s) (fun i -> Char.chr (Char.code s.[i] lxor Char.code ks.[i]))
+
+let seal t plaintext =
+  let ciphertext = xor_with t.seal_key plaintext in
+  let mac = Sha256.hmac_hex ~key:t.seal_key ciphertext in
+  mac ^ ciphertext
+
+let unseal t blob =
+  if String.length blob < 64 then Error "sealed blob too short"
+  else
+    let mac = String.sub blob 0 64 in
+    let ciphertext = String.sub blob 64 (String.length blob - 64) in
+    if not (String.equal mac (Sha256.hmac_hex ~key:t.seal_key ciphertext)) then
+      Error "seal MAC mismatch (wrong enclave or tampered blob)"
+    else Ok (xor_with t.seal_key ciphertext)
+
+type report = { body_measurement : string; report_data : string; mac : string }
+
+let attest t ~report_data =
+  let mac = Sha256.hmac_hex ~key:platform_key (t.meas ^ "|" ^ report_data) in
+  { body_measurement = t.meas; report_data; mac }
+
+let verify_report r =
+  String.equal r.mac (Sha256.hmac_hex ~key:platform_key (r.body_measurement ^ "|" ^ r.report_data))

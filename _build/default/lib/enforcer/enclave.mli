@@ -1,0 +1,42 @@
+(** A simulated trusted execution environment (Intel-SGX-style) hosting
+    the policy enforcer.
+
+    The paper runs its enforcer inside an SGX enclave for trustworthiness.
+    No SGX hardware exists in this environment, so this module reproduces
+    the *API semantics* the enforcer relies on — code measurement, sealed
+    storage bound to the measurement, and attestation reports a customer
+    can verify — over the from-scratch SHA-256/HMAC.  The substitution is
+    documented in DESIGN.md. *)
+
+type t
+(** A loaded enclave instance. *)
+
+val load : code_identity:string -> t
+(** "Load" an enclave whose measurement is the hash of [code_identity]
+    (standing in for the hash of the enclave binary). *)
+
+val measurement : t -> string
+(** Hex MRENCLAVE-equivalent. *)
+
+(** {2 Sealed storage} — confidentiality + integrity, bound to the
+    measurement: another enclave (different code identity) cannot unseal. *)
+
+val seal : t -> string -> string
+(** Encrypt-then-MAC a plaintext blob. *)
+
+val unseal : t -> string -> (string, string) result
+(** Recover a sealed blob; fails on wrong enclave or tampered blob. *)
+
+(** {2 Attestation} *)
+
+type report = { body_measurement : string; report_data : string; mac : string }
+
+val attest : t -> report_data:string -> report
+(** Produce a report binding [report_data] (e.g. the audit head) to the
+    enclave measurement, MACed with the platform key. *)
+
+val verify_report : report -> bool
+(** Platform-side report verification. *)
+
+val expected_measurement : code_identity:string -> string
+(** What a customer should compare a report's measurement against. *)

@@ -1,0 +1,131 @@
+open Heimdall_config
+open Heimdall_verify
+
+type outcome = {
+  approved : bool;
+  rejections : Verifier.rejection list;
+  plan : Scheduler.plan option;
+  updated : Heimdall_control.Network.t option;
+  fixed_policies : Policy.t list;
+  impact : Reachability.impact option;
+  audit : Audit.t;
+  report : Enclave.report;
+  sealed_head : string;
+}
+
+let default_enclave = Enclave.load ~code_identity:"heimdall-policy-enforcer-v1"
+
+let process ?(enclave = default_enclave) ~production ~policies ~privilege ~session () =
+  let changes = Heimdall_twin.Emulation.changes (Heimdall_twin.Session.emulation session) in
+  let audit = Audit.of_session_log (Heimdall_twin.Session.log session) in
+  let verdict = Verifier.verify ~production ~policies ~privilege ~changes in
+  let audit =
+    List.fold_left
+      (fun audit (c : Change.t) ->
+        Audit.append ~actor:"enforcer" ~action:(Change.op_action_name c.op)
+          ~resource:c.node ~detail:(Change.to_string c) ~verdict:"extracted" audit)
+      audit changes
+  in
+  let audit =
+    List.fold_left
+      (fun audit r ->
+        Audit.append ~actor:"enforcer" ~action:"verify" ~resource:"production"
+          ~detail:(Verifier.rejection_to_string r) ~verdict:"rejected" audit)
+      audit verdict.rejections
+  in
+  if not verdict.accepted then begin
+    let audit =
+      Audit.append ~actor:"enforcer" ~action:"verify" ~resource:"production"
+        ~detail:(Printf.sprintf "%d changes" (List.length changes))
+        ~verdict:"rejected" audit
+    in
+    let head = Audit.head audit in
+    {
+      approved = false;
+      rejections = verdict.rejections;
+      plan = None;
+      updated = None;
+      fixed_policies = verdict.fixed_policies;
+      impact = None;
+      audit;
+      report = Enclave.attest enclave ~report_data:head;
+      sealed_head = Enclave.seal enclave head;
+    }
+  end
+  else
+    match Scheduler.plan ~production ~policies ~changes with
+    | Error m ->
+        let audit =
+          Audit.append ~actor:"enforcer" ~action:"schedule" ~resource:"production"
+            ~detail:m ~verdict:"rejected" audit
+        in
+        let head = Audit.head audit in
+        {
+          approved = false;
+          rejections = [ Verifier.Apply_error m ];
+          plan = None;
+          updated = None;
+          fixed_policies = verdict.fixed_policies;
+          impact = None;
+          audit;
+          report = Enclave.attest enclave ~report_data:head;
+          sealed_head = Enclave.seal enclave head;
+        }
+    | Ok (plan, updated) ->
+        let impact =
+          Reachability.diff
+            ~before:(Reachability.compute (Heimdall_control.Dataplane.compute production))
+            ~after:(Reachability.compute (Heimdall_control.Dataplane.compute updated))
+        in
+        let audit =
+          List.fold_left
+            (fun audit (s : Scheduler.step) ->
+              Audit.append ~actor:"enforcer" ~action:"apply"
+                ~resource:s.change.Change.node
+                ~detail:(Change.to_string s.change)
+                ~verdict:
+                  (if s.transient_violations = [] then "applied"
+                   else
+                     Printf.sprintf "applied (transient: %d)"
+                       (List.length s.transient_violations))
+                audit)
+            audit plan.steps
+        in
+        let audit =
+          Audit.append ~actor:"enforcer" ~action:"verify" ~resource:"production"
+            ~detail:
+              (Printf.sprintf "%d changes approved, %d policies repaired; impact: %s"
+                 (List.length changes)
+                 (List.length verdict.fixed_policies)
+                 (Reachability.impact_to_string impact))
+            ~verdict:"approved" audit
+        in
+        let head = Audit.head audit in
+        {
+          approved = true;
+          rejections = [];
+          plan = Some plan;
+          updated = Some updated;
+          fixed_policies = verdict.fixed_policies;
+          impact = Some impact;
+          audit;
+          report = Enclave.attest enclave ~report_data:head;
+          sealed_head = Enclave.seal enclave head;
+        }
+
+let outcome_to_string o =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (if o.approved then "APPROVED\n" else "REJECTED\n");
+  List.iter
+    (fun r -> Buffer.add_string buf ("  " ^ Verifier.rejection_to_string r ^ "\n"))
+    o.rejections;
+  (match o.plan with
+  | Some p -> Buffer.add_string buf (Scheduler.plan_to_string p)
+  | None -> ());
+  (match o.impact with
+  | Some i -> Buffer.add_string buf ("impact: " ^ Reachability.impact_to_string i ^ "\n")
+  | None -> ());
+  Buffer.add_string buf
+    (Printf.sprintf "audit: %d records, head %s...\n" (Audit.length o.audit)
+       (String.sub (Audit.head o.audit) 0 12));
+  Buffer.contents buf

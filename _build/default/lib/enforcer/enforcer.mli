@@ -1,0 +1,40 @@
+(** The policy enforcer: the trusted component between the twin network
+    and the production network (paper §4.3).
+
+    [process] runs the full pipeline inside the (simulated) enclave:
+    extract the technician's changes from the twin, chain the session log
+    into the audit trail, verify privilege + policies, schedule the
+    import, and attest the audit head. *)
+
+open Heimdall_control
+open Heimdall_privilege
+open Heimdall_verify
+
+type outcome = {
+  approved : bool;
+  rejections : Verifier.rejection list;
+  plan : Scheduler.plan option;  (** Present iff approved. *)
+  updated : Network.t option;  (** Production after import, iff approved. *)
+  fixed_policies : Policy.t list;
+  impact : Reachability.impact option;
+      (** Host-pair reachability delta of the import, iff approved. *)
+  audit : Audit.t;  (** Session log + enforcer decisions, hash-chained. *)
+  report : Enclave.report;  (** Attestation over the audit head. *)
+  sealed_head : string;  (** Audit head sealed to the enforcer enclave. *)
+}
+
+val default_enclave : Enclave.t
+(** The enforcer's enclave identity used when none is supplied. *)
+
+val process :
+  ?enclave:Enclave.t ->
+  production:Network.t ->
+  policies:Policy.t list ->
+  privilege:Privilege.t ->
+  session:Heimdall_twin.Session.t ->
+  unit ->
+  outcome
+(** Run the pipeline.  On rejection, [updated] is [None] and production
+    is untouched. *)
+
+val outcome_to_string : outcome -> string

@@ -1,0 +1,74 @@
+open Heimdall_config
+open Heimdall_control
+open Heimdall_verify
+
+type step = { change : Change.t; transient_violations : (Policy.t * string) list }
+type plan = { steps : step list; safe : bool }
+
+let new_violations ~held dp policies =
+  (* Violations among policies that currently hold. *)
+  let report = Policy.check_all dp policies in
+  List.filter (fun (p, _) -> List.exists (Policy.equal p) held) report.violations
+
+let plan ~production ~policies ~changes =
+  let held_on net =
+    let report = Policy.check_all (Dataplane.compute net) policies in
+    List.filter
+      (fun p -> not (List.exists (fun (q, _) -> Policy.equal p q) report.violations))
+      policies
+  in
+  let rec go current remaining steps =
+    match remaining with
+    | [] -> Ok ({ steps = List.rev steps; safe = List.for_all (fun s -> s.transient_violations = []) (List.rev steps) }, current)
+    | _ ->
+        let held = held_on current in
+        (* Evaluate each candidate's transient damage. *)
+        let evaluate c =
+          match Network.apply_changes [ c ] current with
+          | Error m -> Error m
+          | Ok net ->
+              let damage = new_violations ~held (Dataplane.compute net) policies in
+              Ok (c, net, damage)
+        in
+        let rec eval_all acc = function
+          | [] -> Ok (List.rev acc)
+          | c :: rest -> (
+              match evaluate c with
+              | Error m -> Error m
+              | Ok r -> eval_all (r :: acc) rest)
+        in
+        (match eval_all [] remaining with
+        | Error m -> Error m
+        | Ok candidates ->
+            (* Prefer the first zero-damage candidate (stable order keeps
+               the plan deterministic); otherwise the least-damage one. *)
+            let best =
+              match List.find_opt (fun (_, _, d) -> d = []) candidates with
+              | Some c -> c
+              | None ->
+                  List.fold_left
+                    (fun acc c ->
+                      let _, _, d = c and _, _, da = acc in
+                      if List.length d < List.length da then c else acc)
+                    (List.hd candidates) (List.tl candidates)
+            in
+            let c, net, damage = best in
+            let remaining' =
+              List.filter (fun c' -> not (c' == c)) remaining
+            in
+            go net remaining' ({ change = c; transient_violations = damage } :: steps))
+  in
+  go production changes []
+
+let plan_to_string p =
+  let buf = Buffer.create 256 in
+  List.iteri
+    (fun i s ->
+      Buffer.add_string buf
+        (Printf.sprintf "%2d. %s%s\n" (i + 1) (Change.to_string s.change)
+           (match s.transient_violations with
+           | [] -> ""
+           | vs -> Printf.sprintf "  (transient: %d violations)" (List.length vs))))
+    p.steps;
+  Buffer.add_string buf (if p.safe then "plan: safe\n" else "plan: contains transient violations\n");
+  Buffer.contents buf

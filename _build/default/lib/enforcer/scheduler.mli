@@ -1,0 +1,32 @@
+(** Change scheduling: pick an order in which to push verified changes to
+    production so intermediate states stay safe ("updating routers in the
+    wrong order can result in inconsistent behavior", §3).
+
+    Greedy algorithm: at each step apply, from the remaining changes, the
+    first one that keeps every currently-satisfied policy satisfied on a
+    shadow dataplane.  When no single change is transiently safe, the
+    smallest-damage change is taken and its transient violation count is
+    recorded — the operator can then choose to push that suffix as one
+    atomic batch (e.g. inside a maintenance window). *)
+
+open Heimdall_config
+open Heimdall_control
+open Heimdall_verify
+
+type step = {
+  change : Change.t;
+  transient_violations : (Policy.t * string) list;
+      (** Policies that break while this step is the latest applied. *)
+}
+
+type plan = {
+  steps : step list;  (** Execution order. *)
+  safe : bool;  (** No step has transient violations. *)
+}
+
+val plan : production:Network.t -> policies:Policy.t list -> changes:Change.t list ->
+  (plan * Network.t, string) result
+(** Compute the order and the final network.  Fails only if some change
+    cannot apply at all. *)
+
+val plan_to_string : plan -> string

@@ -1,0 +1,19 @@
+(** SHA-256 (FIPS 180-4) and HMAC-SHA-256, implemented from scratch —
+    no crypto package is available in this environment.  Backs the
+    hash-chained audit trail and the simulated enclave's sealing and
+    attestation.  Verified against the standard test vectors in the test
+    suite. *)
+
+val digest : string -> string
+(** Raw 32-byte digest. *)
+
+val hex : string -> string
+(** Hex-encoded digest of the input (64 hex chars). *)
+
+val hmac : key:string -> string -> string
+(** HMAC-SHA-256, raw 32-byte MAC. *)
+
+val hmac_hex : key:string -> string -> string
+
+val to_hex : string -> string
+(** Hex-encode an arbitrary byte string. *)

@@ -1,0 +1,70 @@
+open Heimdall_config
+open Heimdall_control
+open Heimdall_privilege
+open Heimdall_verify
+
+type rejection =
+  | Privilege_violation of { change : Change.t; action : Action.t }
+  | Policy_violation of { policy : Policy.t; reason : string }
+  | Apply_error of string
+
+let rejection_to_string = function
+  | Privilege_violation { change; action } ->
+      Printf.sprintf "privilege violation: %s requires %s" (Change.to_string change) action
+  | Policy_violation { policy; reason } ->
+      Printf.sprintf "policy violation: %s — %s" (Policy.to_string policy) reason
+  | Apply_error m -> Printf.sprintf "cannot apply changes: %s" m
+
+type outcome = {
+  accepted : bool;
+  rejections : rejection list;
+  shadow : Network.t option;
+  fixed_policies : Policy.t list;
+}
+
+let privilege_rejections ~privilege changes =
+  List.filter_map
+    (fun (c : Change.t) ->
+      let action = Change.op_action_name c.op in
+      let request =
+        Privilege.request ?iface:(Change.target_iface c.op) action c.node
+      in
+      if Privilege.allows privilege request then None
+      else Some (Privilege_violation { change = c; action }))
+    changes
+
+let verify ~production ~policies ~privilege ~changes =
+  let priv_rejections = privilege_rejections ~privilege changes in
+  match Network.apply_changes changes production with
+  | Error m ->
+      {
+        accepted = false;
+        rejections = priv_rejections @ [ Apply_error m ];
+        shadow = None;
+        fixed_policies = [];
+      }
+  | Ok shadow ->
+      let before = Policy.check_all (Dataplane.compute production) policies in
+      let after = Policy.check_all (Dataplane.compute shadow) policies in
+      let violated_before p =
+        List.exists (fun (q, _) -> Policy.equal p q) before.violations
+      in
+      let policy_rejections =
+        (* Only *new* violations block the import: a policy already broken
+           in production (e.g. the ticket's own symptom) cannot be held
+           against the fix. *)
+        List.filter_map
+          (fun (p, reason) ->
+            if violated_before p then None
+            else Some (Policy_violation { policy = p; reason }))
+          after.violations
+      in
+      let fixed_policies =
+        List.filter_map
+          (fun (p, _) ->
+            if List.exists (fun (q, _) -> Policy.equal p q) after.violations then None
+            else Some p)
+          before.violations
+      in
+      let rejections = priv_rejections @ policy_rejections in
+      { accepted = rejections = []; rejections; shadow = Some shadow; fixed_policies }

@@ -1,0 +1,44 @@
+(** The enforcer's verification stage: decide whether the change set a
+    technician produced in the twin may enter production.
+
+    Two independent gates, both of which must pass:
+    - {b privilege}: every change must be an action the [Privilege_msp]
+      allows on its target (the twin's monitor already enforces this
+      online, but the enforcer re-checks — trust nothing outside the
+      enclave);
+    - {b policy}: the changes, applied to a shadow copy of production,
+      must leave every network policy satisfied that was satisfied
+      before, and must not introduce new violations. *)
+
+open Heimdall_config
+open Heimdall_control
+open Heimdall_privilege
+open Heimdall_verify
+
+type rejection =
+  | Privilege_violation of { change : Change.t; action : Action.t }
+      (** The change needs an action the spec denies. *)
+  | Policy_violation of { policy : Policy.t; reason : string }
+      (** The shadow network violates a policy that held before. *)
+  | Apply_error of string
+      (** The change list does not even apply cleanly. *)
+
+val rejection_to_string : rejection -> string
+
+type outcome = {
+  accepted : bool;
+  rejections : rejection list;
+  shadow : Network.t option;
+      (** The post-change network when the changes apply cleanly (present
+          even on policy rejection, for diagnostics). *)
+  fixed_policies : Policy.t list;
+      (** Policies violated before the change and satisfied after — the
+          repairs the technician delivered. *)
+}
+
+val verify :
+  production:Network.t ->
+  policies:Policy.t list ->
+  privilege:Privilege.t ->
+  changes:Change.t list ->
+  outcome

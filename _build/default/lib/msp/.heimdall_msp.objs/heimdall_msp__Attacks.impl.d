@@ -1,0 +1,1 @@
+lib/msp/attacks.ml: Dataplane Heimdall_config Heimdall_control Heimdall_net Heimdall_twin Heimdall_verify List Network Policy Prefix Printf Redact Session String

@@ -1,0 +1,1 @@
+lib/msp/attacks.mli: Heimdall_control Heimdall_net Heimdall_twin Heimdall_verify Network Policy Session

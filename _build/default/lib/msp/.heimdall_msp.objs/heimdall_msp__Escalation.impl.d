@@ -1,0 +1,1 @@
+lib/msp/escalation.ml: Action Heimdall_control Heimdall_net Heimdall_privilege Heimdall_twin List Network Printf Priv_gen Privilege String Ticket

@@ -1,0 +1,1 @@
+lib/msp/escalation.mli: Heimdall_control Heimdall_privilege Heimdall_twin Network Privilege Ticket

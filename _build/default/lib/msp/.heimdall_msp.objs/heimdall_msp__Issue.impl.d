@@ -1,0 +1,1 @@
+lib/msp/issue.ml: Dataplane Flow Heimdall_control Heimdall_net Heimdall_verify List Network Printf Ticket

@@ -1,0 +1,1 @@
+lib/msp/issue.mli: Flow Heimdall_control Heimdall_net Network Ticket

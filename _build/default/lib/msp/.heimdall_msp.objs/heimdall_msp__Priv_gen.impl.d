@@ -1,0 +1,1 @@
+lib/msp/priv_gen.ml: Heimdall_control Heimdall_net Heimdall_privilege List Network Privilege Ticket Topology

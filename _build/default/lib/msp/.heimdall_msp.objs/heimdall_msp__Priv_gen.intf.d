@@ -1,0 +1,1 @@
+lib/msp/priv_gen.mli: Heimdall_control Heimdall_privilege Network Privilege Ticket

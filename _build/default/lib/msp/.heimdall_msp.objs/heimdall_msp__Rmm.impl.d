@@ -1,0 +1,1 @@
+lib/msp/rmm.ml: Emulation Heimdall_privilege Heimdall_twin Privilege Session

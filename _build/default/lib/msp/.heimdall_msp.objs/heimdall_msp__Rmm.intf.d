@@ -1,0 +1,1 @@
+lib/msp/rmm.mli: Heimdall_control Heimdall_twin Network Session

@@ -1,0 +1,1 @@
+lib/msp/ticket.mli:

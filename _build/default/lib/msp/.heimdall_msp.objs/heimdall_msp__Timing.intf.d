@@ -1,0 +1,1 @@
+lib/msp/timing.mli:

@@ -1,0 +1,1 @@
+lib/msp/workflow.ml: Buffer Dataplane Emulation Heimdall_control Heimdall_enforcer Heimdall_twin Heimdall_verify Issue List Network Printf Priv_gen Rmm Session Slicer Timing Trace Twin

@@ -1,0 +1,1 @@
+lib/msp/workflow.mli: Heimdall_control Heimdall_enforcer Heimdall_twin Heimdall_verify Issue Network Policy

@@ -1,0 +1,19 @@
+open Heimdall_net
+open Heimdall_control
+
+type t = {
+  name : string;
+  ticket : Ticket.t;
+  inject : Network.t -> Network.t;
+  root_cause : string;
+  fix_commands : string list;
+  probe : Flow.t;
+}
+
+let symptom_present t net =
+  not (Heimdall_verify.Trace.is_delivered (Heimdall_verify.Trace.trace (Dataplane.compute net) t.probe))
+
+let to_string t =
+  Printf.sprintf "issue %s: %s (root cause: %s, %d-step fix)" t.name
+    (Ticket.to_string t.ticket) t.root_cause
+    (List.length t.fix_commands)

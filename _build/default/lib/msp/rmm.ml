@@ -1,0 +1,8 @@
+open Heimdall_privilege
+open Heimdall_twin
+
+let open_direct_session ?technician production =
+  let emulation = Emulation.create_unchecked production in
+  Session.create ?technician ~privilege:Privilege.allow_all emulation
+
+let resulting_network session = Emulation.network (Session.emulation session)

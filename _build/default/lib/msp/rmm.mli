@@ -1,0 +1,16 @@
+(** The status-quo RMM model (paper §2.1, Figure 1): once authenticated,
+    the technician gets a console with root on every production device —
+    no twin, no privilege spec, no scrubbing.  This is the baseline every
+    experiment compares Heimdall against. *)
+
+open Heimdall_control
+open Heimdall_twin
+
+val open_direct_session : ?technician:string -> Network.t -> Session.t
+(** A session straight onto the production network with allow-all
+    privileges and unscrubbed configs.  Changes made here mutate the
+    session's network immediately — exactly the exposure the paper
+    criticises. *)
+
+val resulting_network : Session.t -> Network.t
+(** The production network after whatever the technician did. *)

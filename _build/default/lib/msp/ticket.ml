@@ -1,0 +1,15 @@
+type kind = Connectivity | Routing | Vlan | External
+
+let kind_to_string = function
+  | Connectivity -> "connectivity"
+  | Routing -> "routing"
+  | Vlan -> "vlan"
+  | External -> "external"
+
+type t = { id : string; kind : kind; description : string; endpoints : string list }
+
+let make ~id ~kind ~description ~endpoints = { id; kind; description; endpoints }
+
+let to_string t =
+  Printf.sprintf "[%s] (%s) %s — affects: %s" t.id (kind_to_string t.kind) t.description
+    (String.concat ", " t.endpoints)

@@ -1,0 +1,20 @@
+(** Trouble tickets — the unit of MSP work (paper §2.1). *)
+
+type kind =
+  | Connectivity  (** "X cannot reach Y" — generic L3 debugging. *)
+  | Routing  (** Suspected routing-protocol problem (OSPF, static). *)
+  | Vlan  (** Layer-2 / VLAN problem. *)
+  | External  (** Upstream/ISP-related reconfiguration. *)
+
+val kind_to_string : kind -> string
+
+type t = {
+  id : string;
+  kind : kind;
+  description : string;
+  endpoints : string list;
+      (** Affected devices named in the ticket (drives the twin slice). *)
+}
+
+val make : id:string -> kind:kind -> description:string -> endpoints:string list -> t
+val to_string : t -> string

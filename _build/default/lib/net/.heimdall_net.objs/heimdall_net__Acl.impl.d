@@ -1,0 +1,1 @@
+lib/net/acl.ml: Flow Format Int List Prefix Printf

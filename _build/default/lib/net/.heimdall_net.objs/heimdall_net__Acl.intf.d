@@ -1,0 +1,1 @@
+lib/net/acl.mli: Flow Format Prefix

@@ -1,0 +1,1 @@
+lib/net/flow.ml: Format Ipv4 Option Printf Stdlib

@@ -1,0 +1,1 @@
+lib/net/graph.ml: Hashtbl Int List Map Queue Set String

@@ -1,0 +1,1 @@
+lib/net/ifaddr.ml: Format Int Ipv4 Prefix Printf String

@@ -1,0 +1,1 @@
+lib/net/ifaddr.mli: Format Ipv4 Prefix

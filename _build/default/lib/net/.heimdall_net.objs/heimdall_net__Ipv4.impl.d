@@ -1,0 +1,1 @@
+lib/net/ipv4.ml: Char Format Int Option Printf String

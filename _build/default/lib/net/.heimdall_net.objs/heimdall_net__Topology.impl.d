@@ -1,0 +1,1 @@
+lib/net/topology.ml: Format Graph Hashtbl List Map Printf String

@@ -1,0 +1,134 @@
+type action = Permit | Deny
+
+let action_to_string = function Permit -> "permit" | Deny -> "deny"
+
+let action_of_string = function
+  | "permit" -> Some Permit
+  | "deny" -> Some Deny
+  | _ -> None
+
+type proto_match = Any_proto | Proto of Flow.proto
+type port_match = Any_port | Eq of int | Range of int * int
+
+type rule = {
+  seq : int;
+  action : action;
+  proto : proto_match;
+  src : Prefix.t;
+  src_port : port_match;
+  dst : Prefix.t;
+  dst_port : port_match;
+}
+
+let rule ?(proto = Any_proto) ?(src_port = Any_port) ?(dst_port = Any_port) ~seq action
+    src dst =
+  { seq; action; proto; src; src_port; dst; dst_port }
+
+let proto_matches m (p : Flow.proto) =
+  match m with Any_proto -> true | Proto q -> q = p
+
+let port_matches m port =
+  match m with
+  | Any_port -> true
+  | Eq p -> p = port
+  | Range (lo, hi) -> lo <= port && port <= hi
+
+let rule_matches r (f : Flow.t) =
+  proto_matches r.proto f.proto
+  && Prefix.contains r.src f.src
+  && Prefix.contains r.dst f.dst
+  && port_matches r.src_port f.src_port
+  && port_matches r.dst_port f.dst_port
+
+let proto_match_to_string = function
+  | Any_proto -> "ip"
+  | Proto p -> Flow.proto_to_string p
+
+let port_match_to_string = function
+  | Any_port -> ""
+  | Eq p -> Printf.sprintf " eq %d" p
+  | Range (lo, hi) -> Printf.sprintf " range %d %d" lo hi
+
+let prefix_to_acl_string p =
+  if Prefix.equal p Prefix.any then "any" else Prefix.to_string p
+
+let rule_to_string r =
+  Printf.sprintf "%d %s %s %s%s %s%s" r.seq (action_to_string r.action)
+    (proto_match_to_string r.proto)
+    (prefix_to_acl_string r.src)
+    (port_match_to_string r.src_port)
+    (prefix_to_acl_string r.dst)
+    (port_match_to_string r.dst_port)
+
+type t = { name : string; rules : rule list }
+
+let sort_rules rules = List.sort (fun a b -> Int.compare a.seq b.seq) rules
+
+let make name rules =
+  let sorted = sort_rules rules in
+  let rec check = function
+    | a :: (b :: _ as rest) ->
+        if a.seq = b.seq then
+          invalid_arg (Printf.sprintf "Acl.make: duplicate sequence %d in %s" a.seq name);
+        check rest
+    | _ -> ()
+  in
+  check sorted;
+  { name; rules = sorted }
+
+let empty name = { name; rules = [] }
+
+let eval t f =
+  let rec go = function
+    | [] -> (Deny, None)
+    | r :: rest -> if rule_matches r f then (r.action, Some r) else go rest
+  in
+  go t.rules
+
+let permits t f = fst (eval t f) = Permit
+
+let add_rule r t =
+  let without = List.filter (fun r' -> r'.seq <> r.seq) t.rules in
+  { t with rules = sort_rules (r :: without) }
+
+let remove_rule seq t = { t with rules = List.filter (fun r -> r.seq <> seq) t.rules }
+let find_rule seq t = List.find_opt (fun r -> r.seq = seq) t.rules
+let rule_count t = List.length t.rules
+
+let port_subsumes outer inner =
+  match (outer, inner) with
+  | Any_port, _ -> true
+  | _, Any_port -> false
+  | Eq a, Eq b -> a = b
+  | Eq a, Range (lo, hi) -> a = lo && a = hi
+  | Range (lo, hi), Eq b -> lo <= b && b <= hi
+  | Range (lo, hi), Range (lo', hi') -> lo <= lo' && hi' <= hi
+
+let proto_subsumes outer inner =
+  match (outer, inner) with
+  | Any_proto, _ -> true
+  | Proto a, Proto b -> a = b
+  | Proto _, Any_proto -> false
+
+let rule_subsumes outer inner =
+  proto_subsumes outer.proto inner.proto
+  && Prefix.subsumes outer.src inner.src
+  && Prefix.subsumes outer.dst inner.dst
+  && port_subsumes outer.src_port inner.src_port
+  && port_subsumes outer.dst_port inner.dst_port
+
+let shadowed_rules t =
+  let rec go earlier = function
+    | [] -> []
+    | r :: rest ->
+        let shadowed = List.exists (fun e -> rule_subsumes e r) earlier in
+        if shadowed then r :: go (r :: earlier) rest else go (r :: earlier) rest
+  in
+  go [] t.rules
+
+let equal a b = a.name = b.name && a.rules = b.rules
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>access-list %s:@," t.name;
+  List.iter (fun r -> Format.fprintf fmt "  %s@," (rule_to_string r)) t.rules;
+  Format.fprintf fmt "@]"

@@ -1,0 +1,68 @@
+(** Access control lists: ordered permit/deny rules matched first-to-last,
+    with an implicit trailing deny — the semantics of Cisco extended ACLs. *)
+
+type action = Permit | Deny
+
+val action_to_string : action -> string
+val action_of_string : string -> action option
+
+type proto_match = Any_proto | Proto of Flow.proto
+
+type port_match = Any_port | Eq of int | Range of int * int
+
+type rule = {
+  seq : int;  (** Sequence number; rules are evaluated in increasing order. *)
+  action : action;
+  proto : proto_match;
+  src : Prefix.t;
+  src_port : port_match;
+  dst : Prefix.t;
+  dst_port : port_match;
+}
+
+val rule :
+  ?proto:proto_match ->
+  ?src_port:port_match ->
+  ?dst_port:port_match ->
+  seq:int ->
+  action ->
+  Prefix.t ->
+  Prefix.t ->
+  rule
+(** Convenience constructor; matchers default to wildcards. *)
+
+val rule_matches : rule -> Flow.t -> bool
+
+val rule_to_string : rule -> string
+(** Render a rule in config syntax (without the leading ACL name). *)
+
+type t = { name : string; rules : rule list (** kept sorted by [seq]. *) }
+
+val make : string -> rule list -> t
+(** Build an ACL; rules are sorted by sequence number.
+    @raise Invalid_argument on duplicate sequence numbers. *)
+
+val empty : string -> t
+
+val eval : t -> Flow.t -> action * rule option
+(** First-match evaluation.  Returns the decisive rule, or [None] when the
+    implicit deny fired. *)
+
+val permits : t -> Flow.t -> bool
+
+val add_rule : rule -> t -> t
+(** Insert (or replace, on equal [seq]) a rule. *)
+
+val remove_rule : int -> t -> t
+(** Remove the rule with the given sequence number, if present. *)
+
+val find_rule : int -> t -> rule option
+
+val rule_count : t -> int
+
+val shadowed_rules : t -> rule list
+(** Rules that can never fire because an earlier rule matches a superset of
+    their traffic.  Useful lint for technician-made edits. *)
+
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

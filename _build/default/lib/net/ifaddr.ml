@@ -1,0 +1,32 @@
+type t = { addr : Ipv4.t; len : int }
+
+let make addr len =
+  if len < 0 || len > 32 then
+    invalid_arg (Printf.sprintf "Ifaddr.make: length %d out of range" len);
+  { addr; len }
+
+let of_string_opt s =
+  match String.index_opt s '/' with
+  | None -> None
+  | Some i -> (
+      let addr = String.sub s 0 i in
+      let len_s = String.sub s (i + 1) (String.length s - i - 1) in
+      match (Ipv4.of_string_opt addr, int_of_string_opt len_s) with
+      | Some a, Some len when len >= 0 && len <= 32 -> Some { addr = a; len }
+      | _ -> None)
+
+let of_string s =
+  match of_string_opt s with
+  | Some a -> a
+  | None -> invalid_arg (Printf.sprintf "Ifaddr.of_string: %S" s)
+
+let to_string a = Printf.sprintf "%s/%d" (Ipv4.to_string a.addr) a.len
+let pp fmt a = Format.pp_print_string fmt (to_string a)
+
+let compare a b =
+  match Ipv4.compare a.addr b.addr with 0 -> Int.compare a.len b.len | c -> c
+
+let equal a b = compare a b = 0
+let subnet a = Prefix.make a.addr a.len
+let address a = a.addr
+let same_subnet a b = a.len = b.len && Prefix.equal (subnet a) (subnet b)

@@ -1,0 +1,28 @@
+(** Interface addresses: an IPv4 address together with its subnet mask
+    length, e.g. [10.0.1.1/24].  Unlike {!Prefix.t}, the host part is
+    preserved — [10.0.1.1/24] and [10.0.1.2/24] are different interface
+    addresses inside the same subnet. *)
+
+type t = { addr : Ipv4.t; len : int }
+
+val make : Ipv4.t -> int -> t
+(** @raise Invalid_argument if [len] is outside [0, 32]. *)
+
+val of_string : string -> t
+(** Parse ["a.b.c.d/len"]. @raise Invalid_argument on malformed input. *)
+
+val of_string_opt : string -> t option
+val to_string : t -> string
+val pp : Format.formatter -> t -> unit
+val equal : t -> t -> bool
+val compare : t -> t -> int
+
+val subnet : t -> Prefix.t
+(** The (canonical) subnet the interface lives in. *)
+
+val address : t -> Ipv4.t
+(** The interface's own address. *)
+
+val same_subnet : t -> t -> bool
+(** Whether two interface addresses share a subnet (same canonical network
+    and same mask length). *)

@@ -1,0 +1,61 @@
+type t = { net : Ipv4.t; len : int }
+
+let mask_bits len = if len = 0 then 0 else 0xFFFF_FFFF lxor ((1 lsl (32 - len)) - 1)
+
+let make addr len =
+  if len < 0 || len > 32 then
+    invalid_arg (Printf.sprintf "Prefix.make: length %d out of range" len);
+  { net = Ipv4.of_int (Ipv4.to_int addr land mask_bits len); len }
+
+let of_string_opt s =
+  match String.index_opt s '/' with
+  | None -> Option.map (fun a -> make a 32) (Ipv4.of_string_opt s)
+  | Some i ->
+      let addr = String.sub s 0 i in
+      let len_s = String.sub s (i + 1) (String.length s - i - 1) in
+      let all_digits = len_s <> "" && String.for_all (fun c -> c >= '0' && c <= '9') len_s in
+      if not all_digits then None
+      else
+        let len = int_of_string len_s in
+        if len > 32 then None
+        else Option.map (fun a -> make a len) (Ipv4.of_string_opt addr)
+
+let of_string s =
+  match of_string_opt s with
+  | Some p -> p
+  | None -> invalid_arg (Printf.sprintf "Prefix.of_string: %S" s)
+
+let to_string p = Printf.sprintf "%s/%d" (Ipv4.to_string p.net) p.len
+let pp fmt p = Format.pp_print_string fmt (to_string p)
+
+let compare a b =
+  match Ipv4.compare a.net b.net with 0 -> Int.compare a.len b.len | c -> c
+
+let equal a b = compare a b = 0
+let network p = p.net
+let length p = p.len
+let mask p = Ipv4.of_int (mask_bits p.len)
+let contains p a = Ipv4.to_int a land mask_bits p.len = Ipv4.to_int p.net
+let subsumes p q = p.len <= q.len && contains p q.net
+let overlaps p q = subsumes p q || subsumes q p
+
+let broadcast_addr p =
+  Ipv4.of_int (Ipv4.to_int p.net lor (0xFFFF_FFFF lxor mask_bits p.len))
+
+let hosts_count p = 1 lsl (32 - p.len)
+
+let host p n =
+  if n < 0 || n >= hosts_count p then
+    invalid_arg (Printf.sprintf "Prefix.host: %d outside %s" n (to_string p));
+  Ipv4.of_int (Ipv4.to_int p.net + n)
+
+let any = { net = Ipv4.any; len = 0 }
+let host_prefix a = { net = a; len = 32 }
+
+let split p =
+  if p.len = 32 then None
+  else
+    let len = p.len + 1 in
+    let lo = { net = p.net; len } in
+    let hi = { net = Ipv4.of_int (Ipv4.to_int p.net lor (1 lsl (32 - len))); len } in
+    Some (lo, hi)

@@ -1,0 +1,59 @@
+(** IPv4 CIDR prefixes (network/mask pairs), e.g. [10.0.1.0/24]. *)
+
+type t
+(** A prefix: a network address and a mask length in [0, 32].  The network
+    address is always stored canonically (host bits zeroed). *)
+
+val make : Ipv4.t -> int -> t
+(** [make addr len] is the prefix [addr/len], canonicalised.
+    @raise Invalid_argument if [len] is outside [0, 32]. *)
+
+val of_string : string -> t
+(** Parse ["a.b.c.d/len"].  A bare address parses as a /32.
+    @raise Invalid_argument on malformed input. *)
+
+val of_string_opt : string -> t option
+
+val to_string : t -> string
+(** Render as ["a.b.c.d/len"]. *)
+
+val pp : Format.formatter -> t -> unit
+val compare : t -> t -> int
+val equal : t -> t -> bool
+
+val network : t -> Ipv4.t
+(** Canonical network address (host bits zero). *)
+
+val length : t -> int
+(** Mask length. *)
+
+val mask : t -> Ipv4.t
+(** Netmask as an address, e.g. 255.255.255.0 for a /24. *)
+
+val contains : t -> Ipv4.t -> bool
+(** [contains p a] is true iff [a] falls inside [p]. *)
+
+val subsumes : t -> t -> bool
+(** [subsumes p q] is true iff every address of [q] is inside [p]. *)
+
+val overlaps : t -> t -> bool
+(** True iff the two prefixes share at least one address. *)
+
+val broadcast_addr : t -> Ipv4.t
+(** Highest address in the prefix. *)
+
+val host : t -> int -> Ipv4.t
+(** [host p n] is the [n]-th address within [p] (0 is the network address).
+    @raise Invalid_argument if [n] does not fit in the prefix. *)
+
+val hosts_count : t -> int
+(** Number of addresses covered ([2^(32-len)]). *)
+
+val any : t
+(** 0.0.0.0/0 — the default route prefix. *)
+
+val host_prefix : Ipv4.t -> t
+(** [host_prefix a] is [a/32]. *)
+
+val split : t -> (t * t) option
+(** Split a prefix into its two halves; [None] for a /32. *)

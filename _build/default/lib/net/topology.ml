@@ -1,0 +1,145 @@
+module Smap = Map.Make (String)
+
+type node_kind = Router | Switch | Host | Firewall
+
+let node_kind_to_string = function
+  | Router -> "router"
+  | Switch -> "switch"
+  | Host -> "host"
+  | Firewall -> "firewall"
+
+let node_kind_of_string = function
+  | "router" -> Some Router
+  | "switch" -> Some Switch
+  | "host" -> Some Host
+  | "firewall" -> Some Firewall
+  | _ -> None
+
+type node = { name : string; kind : node_kind }
+type endpoint = { node : string; iface : string }
+
+let endpoint_to_string e = Printf.sprintf "%s:%s" e.node e.iface
+
+type link = { a : endpoint; b : endpoint }
+type t = { nodes : node Smap.t; links : link list }
+
+let empty = { nodes = Smap.empty; links = [] }
+
+let add_node name kind t =
+  if Smap.mem name t.nodes then
+    invalid_arg (Printf.sprintf "Topology.add_node: duplicate node %s" name);
+  { t with nodes = Smap.add name { name; kind } t.nodes }
+
+let endpoint_equal e1 e2 = e1.node = e2.node && e1.iface = e2.iface
+
+let endpoint_wired e t =
+  List.exists (fun l -> endpoint_equal l.a e || endpoint_equal l.b e) t.links
+
+let add_link a b t =
+  if not (Smap.mem a.node t.nodes) then
+    invalid_arg (Printf.sprintf "Topology.add_link: unknown node %s" a.node);
+  if not (Smap.mem b.node t.nodes) then
+    invalid_arg (Printf.sprintf "Topology.add_link: unknown node %s" b.node);
+  if a.node = b.node then
+    invalid_arg (Printf.sprintf "Topology.add_link: self-link on %s" a.node);
+  if endpoint_wired a t then
+    invalid_arg
+      (Printf.sprintf "Topology.add_link: %s already wired" (endpoint_to_string a));
+  if endpoint_wired b t then
+    invalid_arg
+      (Printf.sprintf "Topology.add_link: %s already wired" (endpoint_to_string b));
+  { t with links = { a; b } :: t.links }
+
+let node name t = Smap.find_opt name t.nodes
+let mem_node name t = Smap.mem name t.nodes
+let nodes t = Smap.fold (fun _ n acc -> n :: acc) t.nodes [] |> List.rev
+let links t = t.links
+
+let node_names ?kind t =
+  Smap.fold
+    (fun name n acc ->
+      match kind with
+      | Some k when n.kind <> k -> acc
+      | _ -> name :: acc)
+    t.nodes []
+  |> List.sort String.compare
+
+let peer e t =
+  let rec go = function
+    | [] -> None
+    | l :: rest ->
+        if endpoint_equal l.a e then Some l.b
+        else if endpoint_equal l.b e then Some l.a
+        else go rest
+  in
+  go t.links
+
+let interfaces_of name t =
+  List.concat_map
+    (fun l ->
+      (if l.a.node = name then [ l.a.iface ] else [])
+      @ if l.b.node = name then [ l.b.iface ] else [])
+    t.links
+  |> List.sort String.compare
+
+let neighbors name t =
+  List.concat_map
+    (fun l ->
+      (if l.a.node = name then [ l.b.node ] else [])
+      @ if l.b.node = name then [ l.a.node ] else [])
+    t.links
+  |> List.sort_uniq String.compare
+
+let degree name t = List.length (interfaces_of name t)
+let node_count t = Smap.cardinal t.nodes
+let link_count t = List.length t.links
+
+let to_graph t =
+  let g = Smap.fold (fun name _ g -> Graph.add_vertex name g) t.nodes Graph.empty in
+  List.fold_left
+    (fun g l ->
+      g
+      |> Graph.add_edge ~src:l.a.node ~dst:l.b.node ~weight:1 ~label:l
+      |> Graph.add_edge ~src:l.b.node ~dst:l.a.node ~weight:1 ~label:l)
+    g t.links
+
+let remove_link e t =
+  { t with links = List.filter (fun l -> not (endpoint_equal l.a e || endpoint_equal l.b e)) t.links }
+
+let validate t =
+  let seen = Hashtbl.create 64 in
+  let check_endpoint e =
+    if not (Smap.mem e.node t.nodes) then
+      Error (Printf.sprintf "link endpoint references unknown node %s" e.node)
+    else
+      let key = endpoint_to_string e in
+      if Hashtbl.mem seen key then Error (Printf.sprintf "interface %s wired twice" key)
+      else begin
+        Hashtbl.replace seen key ();
+        Ok ()
+      end
+  in
+  let rec go = function
+    | [] -> Ok ()
+    | l :: rest -> (
+        match check_endpoint l.a with
+        | Error _ as e -> e
+        | Ok () -> (
+            match check_endpoint l.b with
+            | Error _ as e -> e
+            | Ok () -> if l.a.node = l.b.node then
+                Error (Printf.sprintf "self-link on %s" l.a.node)
+              else go rest))
+  in
+  go t.links
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>topology: %d nodes, %d links@," (node_count t) (link_count t);
+  List.iter
+    (fun n -> Format.fprintf fmt "  %s (%s)@," n.name (node_kind_to_string n.kind))
+    (nodes t);
+  List.iter
+    (fun l ->
+      Format.fprintf fmt "  %s <-> %s@," (endpoint_to_string l.a) (endpoint_to_string l.b))
+    t.links;
+  Format.fprintf fmt "@]"

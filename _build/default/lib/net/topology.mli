@@ -1,0 +1,71 @@
+(** Physical network topology: devices and the cables between their named
+    interfaces.  Per-interface configuration (addresses, VLANs, ACL bindings)
+    lives in the device configs ([Heimdall_config]), not here — the topology
+    is pure wiring. *)
+
+type node_kind = Router | Switch | Host | Firewall
+
+val node_kind_to_string : node_kind -> string
+val node_kind_of_string : string -> node_kind option
+
+type node = { name : string; kind : node_kind }
+
+type endpoint = { node : string; iface : string }
+(** One side of a link: device name + interface name. *)
+
+val endpoint_to_string : endpoint -> string
+
+type link = { a : endpoint; b : endpoint }
+(** An undirected cable. *)
+
+type t
+(** A topology. *)
+
+val empty : t
+
+val add_node : string -> node_kind -> t -> t
+(** @raise Invalid_argument if a node of that name already exists. *)
+
+val add_link : endpoint -> endpoint -> t -> t
+(** Wire two interfaces together.
+    @raise Invalid_argument if either node is unknown, if either interface is
+    already wired, or if the link would connect a node to itself. *)
+
+val node : string -> t -> node option
+val mem_node : string -> t -> bool
+val nodes : t -> node list
+(** All nodes, sorted by name. *)
+
+val links : t -> link list
+
+val node_names : ?kind:node_kind -> t -> string list
+(** Names of all nodes, optionally filtered by kind; sorted. *)
+
+val peer : endpoint -> t -> endpoint option
+(** The other end of the cable plugged into this interface, if wired. *)
+
+val interfaces_of : string -> t -> string list
+(** Wired interface names of a node, sorted. *)
+
+val neighbors : string -> t -> string list
+(** Nodes one cable away, sorted, without duplicates. *)
+
+val degree : string -> t -> int
+(** Number of wired interfaces on a node. *)
+
+val node_count : t -> int
+val link_count : t -> int
+
+val to_graph : t -> link Graph.t
+(** Project onto an undirected unit-weight graph (two directed edges per
+    link, labelled with the link). *)
+
+val remove_link : endpoint -> t -> t
+(** Unplug the cable attached to an endpoint, if any. *)
+
+val validate : t -> (unit, string) result
+(** Check structural invariants (each interface wired at most once, link
+    endpoints exist).  Well-formed values built through this API always
+    pass; this is for data loaded from external sources. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/privilege/action.ml: Heimdall_net List String Topology

@@ -1,0 +1,1 @@
+lib/privilege/action.mli: Heimdall_net

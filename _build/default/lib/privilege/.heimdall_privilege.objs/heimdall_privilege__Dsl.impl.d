@@ -1,0 +1,1 @@
+lib/privilege/dsl.ml: Action Buffer List Printf Privilege String

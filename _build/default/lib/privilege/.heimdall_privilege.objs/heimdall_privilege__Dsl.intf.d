@@ -1,0 +1,1 @@
+lib/privilege/dsl.mli: Privilege

@@ -1,0 +1,1 @@
+lib/privilege/json_frontend.ml: Action Heimdall_json List Printf Privilege Result

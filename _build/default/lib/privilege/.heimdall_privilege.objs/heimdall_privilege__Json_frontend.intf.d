@@ -1,0 +1,1 @@
+lib/privilege/json_frontend.mli: Heimdall_json Privilege

@@ -1,0 +1,1 @@
+lib/privilege/privilege.ml: Action Format List Printf String

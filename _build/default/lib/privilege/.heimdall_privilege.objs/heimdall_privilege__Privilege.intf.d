@@ -1,0 +1,1 @@
+lib/privilege/privilege.mli: Action Format Heimdall_net

@@ -1,0 +1,56 @@
+open Heimdall_net
+
+type t = string
+
+let show_actions =
+  [
+    "show.config";
+    "show.interface";
+    "show.route";
+    "show.acl";
+    "show.ospf";
+    "show.vlan";
+    "show.topology";
+  ]
+
+let diag_actions = [ "diag.ping"; "diag.traceroute" ]
+
+let interface_actions =
+  [ "interface.up"; "interface.shutdown"; "interface.addr"; "interface.description" ]
+
+let ospf_actions = [ "ospf.cost"; "ospf.area"; "ospf.network" ]
+let acl_actions = [ "acl.rule"; "acl.bind"; "acl.remove" ]
+let route_actions = [ "route.static"; "route.gateway" ]
+let vlan_actions = [ "vlan.define"; "vlan.switchport" ]
+let secret_actions = [ "secret.set" ]
+let system_actions = [ "system.reboot"; "system.erase" ]
+
+let catalog =
+  List.sort String.compare
+    (show_actions @ diag_actions @ interface_actions @ ospf_actions @ acl_actions
+   @ route_actions @ vlan_actions @ secret_actions @ system_actions)
+
+let has_prefix p a = String.length a >= String.length p && String.sub a 0 (String.length p) = p
+let is_read_only a = has_prefix "show." a || has_prefix "diag." a
+let is_destructive a = has_prefix "system." a
+let mutating = List.filter (fun a -> not (is_read_only a)) catalog
+
+let available_on = function
+  | Topology.Router ->
+      List.sort String.compare
+        (show_actions @ diag_actions @ interface_actions @ ospf_actions @ acl_actions
+       @ route_actions @ secret_actions @ system_actions)
+  | Topology.Firewall ->
+      List.sort String.compare
+        (show_actions @ diag_actions @ interface_actions @ acl_actions @ route_actions
+       @ ospf_actions @ secret_actions @ system_actions)
+  | Topology.Switch ->
+      List.sort String.compare
+        (show_actions @ diag_actions @ interface_actions @ vlan_actions @ secret_actions
+       @ system_actions)
+  | Topology.Host ->
+      List.sort String.compare
+        ([ "show.config"; "show.interface"; "show.route" ] @ diag_actions
+       @ interface_actions @ route_actions @ secret_actions @ system_actions)
+
+let mem a = List.mem a catalog

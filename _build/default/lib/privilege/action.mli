@@ -1,0 +1,32 @@
+(** The action taxonomy: every operation an MSP technician can request,
+    named by a dotted path.  Privilege predicates match these names.
+
+    The catalog is the universe used by the attack-surface metric (the
+    paper's "available commands" [A_n]). *)
+
+type t = string
+(** An action name, e.g. ["interface.shutdown"]. *)
+
+val catalog : t list
+(** Every action in the model, sorted.  Read-only [show.*]/[diag.*]
+    actions, config-mutation actions (mirroring
+    {!Heimdall_config.Change.op_action_name}), and destructive [system.*]
+    actions. *)
+
+val is_read_only : t -> bool
+(** [show.*] and [diag.*] actions observe but never mutate. *)
+
+val is_destructive : t -> bool
+(** [system.*] actions (reboot, erase) — the "careless technician"
+    class. *)
+
+val mutating : t list
+(** Catalog minus read-only actions. *)
+
+val available_on : Heimdall_net.Topology.node_kind -> t list
+(** The subset of the catalog meaningful on a node of this kind (e.g.
+    [ospf.*] exists on routers and firewalls, [vlan.switchport] on
+    switches, hosts expose only interface/route/diag/system actions). *)
+
+val mem : t -> bool
+(** Whether the name is in the catalog. *)

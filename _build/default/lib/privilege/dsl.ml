@@ -1,0 +1,105 @@
+exception Parse_error of int * string
+
+let fail lineno fmt = Printf.ksprintf (fun m -> raise (Parse_error (lineno, m))) fmt
+
+let split_commas s =
+  String.split_on_char ',' s |> List.map String.trim |> List.filter (fun x -> x <> "")
+
+let check_action_pattern lineno pat =
+  if not (List.exists (Privilege.pattern_matches pat) Action.catalog) then
+    fail lineno "action pattern %S matches no known action" pat
+
+(* A statement may span lines; we re-join on ';'.  Track the line number of
+   each statement's start for error reporting. *)
+let statements text =
+  let lines = String.split_on_char '\n' text in
+  let cleaned =
+    List.mapi
+      (fun i l ->
+        let l = match String.index_opt l '#' with Some j -> String.sub l 0 j | None -> l in
+        (i + 1, String.trim l))
+      lines
+  in
+  let stmts = ref [] in
+  let buf = Buffer.create 64 in
+  let start = ref 0 in
+  List.iter
+    (fun (lineno, l) ->
+      if l <> "" then begin
+        if Buffer.length buf = 0 then start := lineno;
+        Buffer.add_string buf l;
+        Buffer.add_char buf ' ';
+        if String.contains l ';' then begin
+          (* Split accumulated text on ';'. *)
+          let parts = String.split_on_char ';' (Buffer.contents buf) in
+          Buffer.clear buf;
+          let rec go = function
+            | [] -> ()
+            | [ last ] ->
+                if String.trim last <> "" then begin
+                  Buffer.add_string buf (String.trim last);
+                  Buffer.add_char buf ' '
+                end
+            | part :: rest ->
+                if String.trim part <> "" then stmts := (!start, String.trim part) :: !stmts;
+                go rest
+          in
+          go parts
+        end
+      end)
+    cleaned;
+  if String.trim (Buffer.contents buf) <> "" then
+    fail !start "statement missing terminating ';'";
+  List.rev !stmts
+
+let parse_statement (lineno, stmt) =
+  (* <effect> <actions> on <resources> *)
+  let effect, rest =
+    if String.length stmt >= 6 && String.sub stmt 0 6 = "allow " then
+      (Privilege.Allow, String.sub stmt 6 (String.length stmt - 6))
+    else if String.length stmt >= 5 && String.sub stmt 0 5 = "deny " then
+      (Privilege.Deny, String.sub stmt 5 (String.length stmt - 5))
+    else fail lineno "expected 'allow' or 'deny': %S" stmt
+  in
+  let on_split =
+    (* find " on " at top level *)
+    let marker = " on " in
+    let rec find i =
+      if i + 4 > String.length rest then None
+      else if String.sub rest i 4 = marker then Some i
+      else find (i + 1)
+    in
+    find 0
+  in
+  match on_split with
+  | None -> fail lineno "statement missing 'on': %S" stmt
+  | Some i ->
+      let actions_s = String.sub rest 0 i in
+      let resources_s = String.sub rest (i + 4) (String.length rest - i - 4) in
+      let actions = split_commas actions_s in
+      let resources = split_commas resources_s in
+      if actions = [] then fail lineno "no actions in statement";
+      if resources = [] then fail lineno "no resources in statement";
+      List.iter (check_action_pattern lineno) actions;
+      {
+        Privilege.effect;
+        actions;
+        resources = List.map Privilege.resource_of_string resources;
+      }
+
+let parse text =
+  Privilege.of_predicates (List.map parse_statement (statements text))
+
+let parse_result text =
+  match parse text with
+  | t -> Ok t
+  | exception Parse_error (l, m) -> Error (l, m)
+
+let render (t : Privilege.t) =
+  let predicate_to_string (p : Privilege.predicate) =
+    Printf.sprintf "%s %s on %s;"
+      (Privilege.effect_to_string p.effect)
+      (String.concat ", " p.actions)
+      (String.concat ", " (List.map Privilege.resource_to_string p.resources))
+  in
+  String.concat "\n" (List.map predicate_to_string t.predicates) ^ "\n"

@@ -1,0 +1,21 @@
+(** Text syntax for [Privilege_msp] specifications.
+
+    {v
+    # comments start with '#'
+    allow show.*, diag.* on *;
+    allow interface.up, interface.shutdown on r1, r2;
+    deny acl.rule on fw1:eth0;
+    v}
+
+    Statements are ordered; evaluation is first-match-wins with a default
+    deny.  [render] and [parse] round-trip. *)
+
+exception Parse_error of int * string
+(** [(line, message)]. *)
+
+val parse : string -> Privilege.t
+(** @raise Parse_error on malformed input or unknown action names (an
+    action pattern must match at least one catalog action). *)
+
+val parse_result : string -> (Privilege.t, int * string) result
+val render : Privilege.t -> string

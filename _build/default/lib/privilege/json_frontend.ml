@@ -1,0 +1,80 @@
+module Json = Heimdall_json.Json
+
+let ( let* ) = Result.bind
+
+let string_list field json =
+  match Json.member field json with
+  | None -> Error (Printf.sprintf "rule missing %S" field)
+  | Some (Json.List items) ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | Json.String s :: rest -> go (s :: acc) rest
+        | _ -> Error (Printf.sprintf "%S must contain only strings" field)
+      in
+      go [] items
+  | Some _ -> Error (Printf.sprintf "%S must be a list" field)
+
+let rule_of_json json =
+  let* effect =
+    match Json.member "effect" json with
+    | Some (Json.String "allow") -> Ok Privilege.Allow
+    | Some (Json.String "deny") -> Ok Privilege.Deny
+    | Some _ | None -> Error "rule effect must be \"allow\" or \"deny\""
+  in
+  let* actions = string_list "actions" json in
+  let* resources = string_list "resources" json in
+  if actions = [] then Error "rule has no actions"
+  else if resources = [] then Error "rule has no resources"
+  else
+    let unknown =
+      List.filter
+        (fun a -> not (List.exists (Privilege.pattern_matches a) Action.catalog))
+        actions
+    in
+    match unknown with
+    | u :: _ -> Error (Printf.sprintf "action pattern %S matches no known action" u)
+    | [] ->
+        Ok
+          {
+            Privilege.effect;
+            actions;
+            resources = List.map Privilege.resource_of_string resources;
+          }
+
+let of_json json =
+  match Json.member "rules" json with
+  | None -> Error "document missing \"rules\""
+  | Some (Json.List rules) ->
+      let rec go acc = function
+        | [] -> Ok (Privilege.of_predicates (List.rev acc))
+        | r :: rest ->
+            let* p = rule_of_json r in
+            go (p :: acc) rest
+      in
+      go [] rules
+  | Some _ -> Error "\"rules\" must be a list"
+
+let to_json (t : Privilege.t) =
+  let rule_to_json (p : Privilege.predicate) =
+    Json.Obj
+      [
+        ("effect", Json.String (Privilege.effect_to_string p.effect));
+        ("actions", Json.List (List.map (fun a -> Json.String a) p.actions));
+        ( "resources",
+          Json.List
+            (List.map (fun r -> Json.String (Privilege.resource_to_string r)) p.resources)
+        );
+      ]
+  in
+  Json.Obj
+    [
+      ("version", Json.Int 1);
+      ("rules", Json.List (List.map rule_to_json t.predicates));
+    ]
+
+let parse text =
+  match Json.of_string text with
+  | json -> of_json json
+  | exception Json.Parse_error m -> Error m
+
+let render ?pretty t = Json.to_string ?pretty (to_json t)

@@ -1,0 +1,19 @@
+(** The JSON front-end the paper mentions ("a convenient front-end
+    interface, based on JSON, that builds on the specification DSL").
+
+    Document shape:
+    {v
+    { "version": 1,
+      "rules": [
+        { "effect": "allow",
+          "actions": ["show.*", "diag.ping"],
+          "resources": ["r1", "r2:eth0"] } ] }
+    v} *)
+
+val of_json : Heimdall_json.Json.t -> (Privilege.t, string) result
+val to_json : Privilege.t -> Heimdall_json.Json.t
+
+val parse : string -> (Privilege.t, string) result
+(** Parse a JSON document string into a specification. *)
+
+val render : ?pretty:bool -> Privilege.t -> string

@@ -1,0 +1,1 @@
+lib/scenarios/builder.ml: Acl Ast Hashtbl Heimdall_config Heimdall_control Heimdall_net Ifaddr Ipv4 List Network Option Prefix Printf Topology

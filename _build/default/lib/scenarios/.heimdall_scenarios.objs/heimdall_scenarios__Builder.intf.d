@@ -1,0 +1,1 @@
+lib/scenarios/builder.mli: Acl Ast Heimdall_config Heimdall_control Heimdall_net Ifaddr Ipv4 Network Prefix

@@ -1,0 +1,1 @@
+lib/scenarios/campaign.mli: Heimdall_control Heimdall_msp Heimdall_verify Network

@@ -1,0 +1,1 @@
+lib/scenarios/experiments.mli: Campaign Heimdall_control Heimdall_verify Metrics Network

@@ -1,0 +1,1 @@
+lib/scenarios/metrics.mli: Heimdall_control Heimdall_net Heimdall_verify Network Policy Topology

@@ -1,0 +1,1 @@
+lib/scenarios/university.mli: Heimdall_control Heimdall_msp Heimdall_net Heimdall_verify Network Prefix

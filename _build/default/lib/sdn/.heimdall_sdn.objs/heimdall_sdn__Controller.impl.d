@@ -1,0 +1,1 @@
+lib/sdn/controller.ml: Acl Fabric Flow Graph Heimdall_net List Prefix Printf Rule Topology

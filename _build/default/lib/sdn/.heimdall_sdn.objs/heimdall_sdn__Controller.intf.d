@@ -1,0 +1,1 @@
+lib/sdn/controller.mli: Acl Fabric Heimdall_net

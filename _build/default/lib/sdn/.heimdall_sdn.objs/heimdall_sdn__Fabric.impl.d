@@ -1,0 +1,1 @@
+lib/sdn/fabric.ml: Flow Heimdall_net Int Ipv4 List Map Option Printf Rule String Topology

@@ -1,0 +1,1 @@
+lib/sdn/fabric.mli: Flow Heimdall_net Ipv4 Rule Topology

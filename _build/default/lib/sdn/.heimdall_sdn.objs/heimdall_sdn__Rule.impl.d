@@ -1,0 +1,1 @@
+lib/sdn/rule.ml: Acl Flow Heimdall_net Prefix Printf

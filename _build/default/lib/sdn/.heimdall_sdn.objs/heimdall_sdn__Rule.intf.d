@@ -1,0 +1,1 @@
+lib/sdn/rule.mli: Acl Flow Heimdall_net Prefix

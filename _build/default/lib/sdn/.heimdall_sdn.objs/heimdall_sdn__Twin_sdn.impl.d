@@ -1,0 +1,1 @@
+lib/sdn/twin_sdn.ml: Controller Fabric Heimdall_enforcer Heimdall_net Heimdall_privilege List Printf Privilege Rule String

@@ -1,0 +1,1 @@
+lib/sdn/twin_sdn.mli: Controller Fabric Flow Heimdall_enforcer Heimdall_net Heimdall_privilege Privilege Rule

@@ -1,0 +1,122 @@
+open Heimdall_net
+
+type intent =
+  | Connect of { src : string; dst : string }
+  | Block of { src : string; dst : string; proto : Acl.proto_match }
+
+let intent_to_string = function
+  | Connect { src; dst } -> Printf.sprintf "connect %s <-> %s" src dst
+  | Block { src; dst; proto } ->
+      Printf.sprintf "block %s -> %s (%s)" src dst
+        (match proto with Acl.Any_proto -> "any" | Acl.Proto p -> Flow.proto_to_string p)
+
+let addr_of fabric host = List.assoc_opt host (Fabric.hosts fabric)
+
+(* The port on [node] that faces [peer] (first wired match). *)
+let port_towards topo node peer =
+  List.find_map
+    (fun (l : Topology.link) ->
+      if l.a.node = node && l.b.node = peer then Some l.a.iface
+      else if l.b.node = node && l.a.node = peer then Some l.b.iface
+      else None)
+    (Topology.links topo)
+
+let path_rules fabric src dst =
+  (* One direction: rules along the shortest path from src host to dst. *)
+  let topo = Fabric.topology fabric in
+  match (addr_of fabric src, addr_of fabric dst) with
+  | Some src_addr, Some dst_addr -> (
+      let g = Topology.to_graph topo in
+      match Graph.shortest_path src dst g with
+      | None -> []
+      | Some (_, path) ->
+          (* Walk consecutive switch elements; each forwards towards the
+             next element on the path. *)
+          let rec walk = function
+            | a :: (b :: _ as rest) ->
+                let here =
+                  match Topology.node a topo with
+                  | Some { Topology.kind = Topology.Switch; _ } -> (
+                      match port_towards topo a b with
+                      | Some port ->
+                          [
+                            ( a,
+                              Rule.make ~priority:100
+                                (Rule.matcher
+                                   ~src:(Prefix.host_prefix src_addr)
+                                   ~dst:(Prefix.host_prefix dst_addr)
+                                   ())
+                                (Rule.Forward port) );
+                          ]
+                      | None -> [])
+                  | _ -> []
+                in
+                here @ walk rest
+            | _ -> []
+          in
+          walk path)
+  | _ -> []
+
+let ingress_switch fabric host =
+  let topo = Fabric.topology fabric in
+  List.find_map
+    (fun (l : Topology.link) ->
+      if l.a.node = host then Some l.b.node
+      else if l.b.node = host then Some l.a.node
+      else None)
+    (Topology.links topo)
+
+let compile fabric intents =
+  let cleared =
+    List.fold_left (fun f sw -> Fabric.clear sw f) fabric (Fabric.switches fabric)
+  in
+  let with_connect =
+    List.fold_left
+      (fun f intent ->
+        match intent with
+        | Connect { src; dst } ->
+            List.fold_left
+              (fun f (sw, rule) -> Fabric.install sw rule f)
+              f
+              (path_rules fabric src dst @ path_rules fabric dst src)
+        | Block _ -> f)
+      cleared intents
+  in
+  List.fold_left
+    (fun f intent ->
+      match intent with
+      | Block { src; dst; proto } -> (
+          match (ingress_switch fabric src, addr_of fabric src, addr_of fabric dst) with
+          | Some sw, Some src_addr, Some dst_addr ->
+              Fabric.install sw
+                (Rule.make ~priority:200
+                   (Rule.matcher
+                      ~src:(Prefix.host_prefix src_addr)
+                      ~dst:(Prefix.host_prefix dst_addr)
+                      ~proto ())
+                   Rule.Drop)
+                f
+          | _ -> f)
+      | Connect _ -> f)
+    with_connect intents
+
+let holds fabric = function
+  | Connect { src; dst } -> (
+      match (addr_of fabric src, addr_of fabric dst) with
+      | Some a, Some b -> Fabric.reachable fabric ~src:a ~dst:b && Fabric.reachable fabric ~src:b ~dst:a
+      | _ -> false)
+  | Block { src; dst; proto } -> (
+      match (addr_of fabric src, addr_of fabric dst) with
+      | Some a, Some b ->
+          let flow =
+            match proto with
+            | Acl.Proto Flow.Tcp -> Flow.tcp ~dst_port:80 a b
+            | Acl.Proto Flow.Udp -> Flow.make ~proto:Flow.Udp a b
+            | Acl.Proto Flow.Icmp | Acl.Any_proto -> Flow.icmp a b
+          in
+          (match Fabric.trace fabric flow with
+          | Fabric.Delivered _ -> false
+          | Fabric.Dropped _ -> true)
+      | _ -> false)
+
+let violations fabric intents = List.filter (fun i -> not (holds fabric i)) intents

@@ -1,0 +1,25 @@
+(** A small SDN controller: compiles connectivity intents into per-switch
+    flow tables over shortest paths — the SDN analogue of this repo's
+    OSPF + ACL substrate. *)
+
+open Heimdall_net
+
+type intent =
+  | Connect of { src : string; dst : string }
+      (** Bidirectional host-pair connectivity. *)
+  | Block of { src : string; dst : string; proto : Acl.proto_match }
+      (** Forbid src→dst traffic of the given protocol (one direction). *)
+
+val intent_to_string : intent -> string
+
+val compile : Fabric.t -> intent list -> Fabric.t
+(** Replace every switch's table with rules realising the intents:
+    forwarding entries along the shortest path for each [Connect] (both
+    directions, priority 100), and ingress-switch drop entries for each
+    [Block] (priority 200).  Unknown hosts in an intent are ignored. *)
+
+val holds : Fabric.t -> intent -> bool
+(** Whether the fabric's current tables satisfy the intent. *)
+
+val violations : Fabric.t -> intent list -> intent list
+(** Intents that do not hold. *)

@@ -1,0 +1,126 @@
+open Heimdall_net
+module Smap = Map.Make (String)
+
+type t = {
+  topology : Topology.t;
+  host_addrs : (string * Ipv4.t) list;
+  tables : Rule.t list Smap.t;  (* sorted by priority desc *)
+}
+
+let make topology ~hosts =
+  List.iter
+    (fun (h, _) ->
+      match Topology.node h topology with
+      | Some { Topology.kind = Topology.Host; _ } -> ()
+      | Some _ -> invalid_arg (Printf.sprintf "Fabric.make: %s is not a host" h)
+      | None -> invalid_arg (Printf.sprintf "Fabric.make: unknown host %s" h))
+    hosts;
+  let tables =
+    List.fold_left
+      (fun acc n -> Smap.add n [] acc)
+      Smap.empty
+      (Topology.node_names ~kind:Topology.Switch topology)
+  in
+  { topology; host_addrs = hosts; tables }
+
+let topology t = t.topology
+let hosts t = t.host_addrs
+let switches t = Smap.fold (fun n _ acc -> n :: acc) t.tables [] |> List.rev
+let table sw t = Option.value (Smap.find_opt sw t.tables) ~default:[]
+
+let sort_rules rules =
+  List.stable_sort (fun (a : Rule.t) b -> Int.compare b.priority a.priority) rules
+
+let install sw rule t =
+  match Smap.find_opt sw t.tables with
+  | None -> invalid_arg (Printf.sprintf "Fabric.install: unknown switch %s" sw)
+  | Some rules -> { t with tables = Smap.add sw (sort_rules (rule :: rules)) t.tables }
+
+let uninstall sw rule t =
+  match Smap.find_opt sw t.tables with
+  | None -> invalid_arg (Printf.sprintf "Fabric.uninstall: unknown switch %s" sw)
+  | Some rules ->
+      { t with
+        tables = Smap.add sw (List.filter (fun r -> not (Rule.equal r rule)) rules) t.tables
+      }
+
+let clear sw t =
+  match Smap.find_opt sw t.tables with
+  | None -> invalid_arg (Printf.sprintf "Fabric.clear: unknown switch %s" sw)
+  | Some _ -> { t with tables = Smap.add sw [] t.tables }
+
+let rule_count t = Smap.fold (fun _ rs n -> n + List.length rs) t.tables 0
+
+type drop_reason =
+  | Table_miss of string
+  | Rule_drop of string * Rule.t
+  | Punted of string * Rule.t
+  | No_port of string * string
+  | Loop
+  | Unknown_host of Ipv4.t
+
+let drop_reason_to_string = function
+  | Table_miss sw -> Printf.sprintf "table miss at %s" sw
+  | Rule_drop (sw, r) -> Printf.sprintf "dropped at %s by [%s]" sw (Rule.to_string r)
+  | Punted (sw, _) -> Printf.sprintf "punted to controller at %s" sw
+  | No_port (sw, p) -> Printf.sprintf "forward to unwired port %s:%s" sw p
+  | Loop -> "forwarding loop"
+  | Unknown_host a -> Printf.sprintf "no host owns %s" (Ipv4.to_string a)
+
+type result = Delivered of string list | Dropped of drop_reason * string list
+
+let host_of_addr t addr =
+  List.find_map
+    (fun (h, a) -> if Ipv4.equal a addr then Some h else None)
+    t.host_addrs
+
+let lookup t sw ~in_port flow =
+  List.find_opt (fun r -> Rule.matches r ~in_port flow) (table sw t)
+
+let max_hops = 64
+
+let trace t (flow : Flow.t) =
+  match (host_of_addr t flow.src, host_of_addr t flow.dst) with
+  | None, _ -> Dropped (Unknown_host flow.src, [])
+  | _, None -> Dropped (Unknown_host flow.dst, [])
+  | Some src_host, Some dst_host -> (
+      (* The host emits on its single wired port. *)
+      let first_hop =
+        List.find_map
+          (fun (l : Topology.link) ->
+            if l.a.node = src_host then Some (l.b.node, l.b.iface)
+            else if l.b.node = src_host then Some (l.a.node, l.a.iface)
+            else None)
+          (Topology.links t.topology)
+      in
+      match first_hop with
+      | None -> Dropped (No_port (src_host, "unwired"), [ src_host ])
+      | Some (node, in_port) ->
+          let rec step node in_port path budget =
+            let path = node :: path in
+            if budget <= 0 then Dropped (Loop, List.rev path)
+            else if node = dst_host then Delivered (List.rev path)
+            else
+              match Topology.node node t.topology with
+              | Some { Topology.kind = Topology.Switch; _ } -> (
+                  match lookup t node ~in_port flow with
+                  | None -> Dropped (Table_miss node, List.rev path)
+                  | Some ({ Rule.action = Rule.Drop; _ } as r) ->
+                      Dropped (Rule_drop (node, r), List.rev path)
+                  | Some ({ Rule.action = Rule.To_controller; _ } as r) ->
+                      Dropped (Punted (node, r), List.rev path)
+                  | Some { Rule.action = Rule.Forward port; _ } -> (
+                      match
+                        Topology.peer { Topology.node; iface = port } t.topology
+                      with
+                      | None -> Dropped (No_port (node, port), List.rev path)
+                      | Some peer -> step peer.node peer.iface path (budget - 1)))
+              | Some _ ->
+                  (* A non-destination host swallows the packet. *)
+                  Dropped (Unknown_host flow.dst, List.rev path)
+              | None -> Dropped (No_port (node, in_port), List.rev path)
+          in
+          step node in_port [ src_host ] max_hops)
+
+let reachable t ~src ~dst =
+  match trace t (Flow.icmp src dst) with Delivered _ -> true | Dropped _ -> false

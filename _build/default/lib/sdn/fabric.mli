@@ -1,0 +1,49 @@
+(** An SDN fabric: hosts wired to OpenFlow switches, each switch holding a
+    flow table; forwarding is entirely table-driven. *)
+
+open Heimdall_net
+
+type t
+
+val make : Topology.t -> hosts:(string * Ipv4.t) list -> t
+(** [make topo ~hosts] wraps a topology whose [Switch] nodes are OpenFlow
+    switches and whose [Host] nodes carry the given addresses.  Tables
+    start empty (= drop everything).
+    @raise Invalid_argument if a listed host is not a [Host] node. *)
+
+val topology : t -> Topology.t
+val hosts : t -> (string * Ipv4.t) list
+val switches : t -> string list
+
+val table : string -> t -> Rule.t list
+(** A switch's rules, highest priority first. *)
+
+val install : string -> Rule.t -> t -> t
+(** Add a rule to a switch's table (functional).
+    @raise Invalid_argument on unknown switch. *)
+
+val uninstall : string -> Rule.t -> t -> t
+(** Remove exactly this rule, if present. *)
+
+val clear : string -> t -> t
+
+val rule_count : t -> int
+
+type drop_reason =
+  | Table_miss of string  (** Switch with no matching rule. *)
+  | Rule_drop of string * Rule.t
+  | Punted of string * Rule.t  (** To_controller. *)
+  | No_port of string * string  (** Forward to an unwired port. *)
+  | Loop
+  | Unknown_host of Ipv4.t
+
+val drop_reason_to_string : drop_reason -> string
+
+type result = Delivered of string list | Dropped of drop_reason * string list
+(** The node path traversed (hosts and switches). *)
+
+val trace : t -> Flow.t -> result
+(** Inject the flow at the switch port facing the source host and follow
+    flow-table decisions hop by hop. *)
+
+val reachable : t -> src:Ipv4.t -> dst:Ipv4.t -> bool

@@ -1,0 +1,46 @@
+open Heimdall_net
+
+type matcher = {
+  in_port : string option;
+  src : Prefix.t;
+  dst : Prefix.t;
+  proto : Acl.proto_match;
+}
+
+let any = { in_port = None; src = Prefix.any; dst = Prefix.any; proto = Acl.Any_proto }
+
+let matcher ?in_port ?(src = Prefix.any) ?(dst = Prefix.any) ?(proto = Acl.Any_proto) () =
+  { in_port; src; dst; proto }
+
+type action = Forward of string | Drop | To_controller
+
+type t = { priority : int; matcher : matcher; action : action; cookie : string }
+
+let make ?(cookie = "controller") ~priority matcher action =
+  { priority; matcher; action; cookie }
+
+let proto_matches m (p : Flow.proto) =
+  match m with Acl.Any_proto -> true | Acl.Proto q -> q = p
+
+let matches r ~in_port (f : Flow.t) =
+  (match r.matcher.in_port with None -> true | Some p -> p = in_port)
+  && Prefix.contains r.matcher.src f.src
+  && Prefix.contains r.matcher.dst f.dst
+  && proto_matches r.matcher.proto f.proto
+
+let action_to_string = function
+  | Forward p -> "forward:" ^ p
+  | Drop -> "drop"
+  | To_controller -> "controller"
+
+let matcher_to_string m =
+  Printf.sprintf "%s src=%s dst=%s proto=%s"
+    (match m.in_port with Some p -> "in:" ^ p | None -> "in:any")
+    (Prefix.to_string m.src) (Prefix.to_string m.dst)
+    (match m.proto with Acl.Any_proto -> "any" | Acl.Proto p -> Flow.proto_to_string p)
+
+let to_string r =
+  Printf.sprintf "prio=%d %s -> %s [%s]" r.priority (matcher_to_string r.matcher)
+    (action_to_string r.action) r.cookie
+
+let equal a b = a = b

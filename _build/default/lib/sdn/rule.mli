@@ -1,0 +1,41 @@
+(** OpenFlow-style flow rules for the SDN substrate (the paper's §7
+    "beyond legacy networks" direction).
+
+    A rule matches on ingress port and packet header fields; the
+    highest-priority matching rule decides the action.  No matching rule
+    means drop (fail closed), as on a real OpenFlow switch with no
+    table-miss entry. *)
+
+open Heimdall_net
+
+type matcher = {
+  in_port : string option;  (** [None] matches any port. *)
+  src : Prefix.t;
+  dst : Prefix.t;
+  proto : Acl.proto_match;
+}
+
+val any : matcher
+(** Match everything. *)
+
+val matcher :
+  ?in_port:string -> ?src:Prefix.t -> ?dst:Prefix.t -> ?proto:Acl.proto_match -> unit ->
+  matcher
+
+type action =
+  | Forward of string  (** Egress port. *)
+  | Drop
+  | To_controller  (** Punt (counts as drop for dataplane reachability). *)
+
+type t = {
+  priority : int;  (** Higher wins. *)
+  matcher : matcher;
+  action : action;
+  cookie : string;  (** Provenance tag ("controller", "tech", ...). *)
+}
+
+val make : ?cookie:string -> priority:int -> matcher -> action -> t
+
+val matches : t -> in_port:string -> Flow.t -> bool
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,86 @@
+open Heimdall_privilege
+
+type t = {
+  technician : string;
+  privilege : Privilege.t;
+  mutable fabric : Fabric.t;
+  mutable audit : Heimdall_enforcer.Audit.t;
+}
+
+let record t ~action ~resource ~detail ~verdict =
+  t.audit <-
+    Heimdall_enforcer.Audit.append ~actor:t.technician ~action ~resource ~detail ~verdict
+      t.audit
+
+let open_session ?(technician = "tech") ~privilege fabric =
+  { technician; privilege; fabric; audit = Heimdall_enforcer.Audit.empty }
+
+let fabric t = t.fabric
+let audit t = t.audit
+
+let guarded t ~action ~resource ~detail f =
+  if Privilege.allows t.privilege (Privilege.request action resource) then begin
+    record t ~action ~resource ~detail ~verdict:"allowed";
+    f ()
+  end
+  else begin
+    record t ~action ~resource ~detail ~verdict:"denied";
+    Error (Printf.sprintf "permission denied: %s on %s" action resource)
+  end
+
+let show_table t sw =
+  guarded t ~action:"sdn.show" ~resource:sw ~detail:"show table" (fun () ->
+      if not (List.mem sw (Fabric.switches t.fabric)) then
+        Error (Printf.sprintf "unknown switch %s" sw)
+      else
+        match Fabric.table sw t.fabric with
+        | [] -> Ok "empty table\n"
+        | rules ->
+            Ok (String.concat "" (List.map (fun r -> Rule.to_string r ^ "\n") rules)))
+
+let install t sw rule =
+  guarded t ~action:"sdn.flow" ~resource:sw ~detail:("install " ^ Rule.to_string rule)
+    (fun () ->
+      match Fabric.install sw rule t.fabric with
+      | f ->
+          t.fabric <- f;
+          Ok ()
+      | exception Invalid_argument m -> Error m)
+
+let uninstall t sw rule =
+  guarded t ~action:"sdn.flow" ~resource:sw ~detail:("remove " ^ Rule.to_string rule)
+    (fun () ->
+      match Fabric.uninstall sw rule t.fabric with
+      | f ->
+          t.fabric <- f;
+          Ok ()
+      | exception Invalid_argument m -> Error m)
+
+let trace t flow =
+  guarded t ~action:"sdn.diag" ~resource:"fabric"
+    ~detail:("trace " ^ Heimdall_net.Flow.to_string flow) (fun () ->
+      Ok (Fabric.trace t.fabric flow))
+
+type outcome = {
+  approved : bool;
+  violated : Controller.intent list;
+  updated : Fabric.t option;
+}
+
+let verify t ~baseline ~intents =
+  let held_before = List.filter (Controller.holds baseline) intents in
+  let violated = List.filter (fun i -> not (Controller.holds t.fabric i)) held_before in
+  let approved = violated = [] in
+  record t ~action:"sdn.verify" ~resource:"fabric"
+    ~detail:
+      (Printf.sprintf "%d intents checked, %d violated" (List.length held_before)
+         (List.length violated))
+    ~verdict:(if approved then "approved" else "rejected");
+  { approved; violated; updated = (if approved then Some t.fabric else None) }
+
+let allow_sdn ?switches () =
+  let flow_nodes = match switches with Some s -> s | None -> [ "*" ] in
+  [
+    Privilege.allow ~actions:[ "sdn.show"; "sdn.diag" ] ~nodes:[ "*" ] ();
+    Privilege.allow ~actions:[ "sdn.flow" ] ~nodes:flow_nodes ();
+  ]

@@ -1,0 +1,45 @@
+(** The Heimdall workflow transposed to an SDN fabric: a technician edits
+    flow rules on a twin copy under a [Privilege_msp]; the enforcer-style
+    verification re-checks the controller's intents before the new tables
+    are accepted; everything is audited.
+
+    SDN privilege actions (evaluated with the same engine; they are not
+    part of the legacy-device catalog, so specs for SDN sessions are built
+    programmatically):
+    - ["sdn.show"]  — read a switch's table
+    - ["sdn.flow"]  — install/remove rules
+    - ["sdn.diag"]  — trace flows *)
+
+open Heimdall_net
+open Heimdall_privilege
+
+type t
+
+val open_session :
+  ?technician:string -> privilege:Privilege.t -> Fabric.t -> t
+(** Work on a twin copy of the fabric; the original is never touched. *)
+
+val show_table : t -> string -> (string, string) result
+val install : t -> string -> Rule.t -> (unit, string) result
+val uninstall : t -> string -> Rule.t -> (unit, string) result
+val trace : t -> Flow.t -> (Fabric.result, string) result
+
+val fabric : t -> Fabric.t
+(** The twin's current state. *)
+
+val audit : t -> Heimdall_enforcer.Audit.t
+
+type outcome = {
+  approved : bool;
+  violated : Controller.intent list;  (** Intents newly broken, if any. *)
+  updated : Fabric.t option;  (** The fabric to push, iff approved. *)
+}
+
+val verify : t -> baseline:Fabric.t -> intents:Controller.intent list -> outcome
+(** Accept the twin's tables iff every intent that held on [baseline]
+    still holds. *)
+
+val allow_sdn :
+  ?switches:string list -> unit -> Privilege.predicate list
+(** Convenience: read+diag everywhere plus rule edits on the given
+    switches (all switches if omitted). *)

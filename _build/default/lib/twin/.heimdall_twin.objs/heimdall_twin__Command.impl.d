@@ -1,0 +1,1 @@
+lib/twin/command.ml: Ast Change Heimdall_config Heimdall_net Ifaddr Ipv4 List Parser Prefix Printf String

@@ -1,0 +1,1 @@
+lib/twin/command.mli: Change Heimdall_config Heimdall_net Heimdall_privilege Ipv4

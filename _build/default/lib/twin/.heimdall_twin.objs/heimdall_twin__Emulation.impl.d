@@ -1,0 +1,1 @@
+lib/twin/emulation.ml: Ast Change Dataplane Flow Heimdall_config Heimdall_control Heimdall_net Heimdall_verify List Network Printf Redact

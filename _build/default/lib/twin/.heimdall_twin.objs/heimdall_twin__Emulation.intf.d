@@ -1,0 +1,1 @@
+lib/twin/emulation.mli: Change Dataplane Heimdall_config Heimdall_control Heimdall_net Heimdall_verify Ipv4 Network

@@ -1,0 +1,1 @@
+lib/twin/presentation.ml: Ast Buffer Dataplane Emulation Fib Heimdall_config Heimdall_control Heimdall_net Heimdall_verify Ifaddr Ipv4 List Network Ospf Printer Printf String Topology

@@ -1,0 +1,1 @@
+lib/twin/presentation.mli: Emulation Heimdall_net Ipv4

@@ -1,0 +1,1 @@
+lib/twin/session.ml: Action Command Emulation Heimdall_control Heimdall_privilege List Network Option Presentation Printf Privilege

@@ -1,0 +1,1 @@
+lib/twin/session.mli: Action Emulation Heimdall_privilege Privilege

@@ -1,0 +1,1 @@
+lib/twin/slicer.ml: Graph Heimdall_config Heimdall_control Heimdall_net List Network String Topology

@@ -1,0 +1,1 @@
+lib/twin/slicer.mli: Heimdall_control Network

@@ -1,0 +1,1 @@
+lib/twin/twin.ml: Ast Emulation Hashtbl Heimdall_config Heimdall_control Heimdall_net List Network Option Redact Session Slicer Topology

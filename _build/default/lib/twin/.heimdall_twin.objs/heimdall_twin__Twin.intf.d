@@ -1,0 +1,1 @@
+lib/twin/twin.mli: Emulation Heimdall_control Heimdall_privilege Network Privilege Session Slicer

@@ -1,0 +1,144 @@
+open Heimdall_net
+open Heimdall_config
+
+type show =
+  | Running_config
+  | Interfaces
+  | Ip_route
+  | Access_lists
+  | Ospf_neighbors
+  | Vlans
+  | Topology_view
+
+type t =
+  | Connect of string
+  | Disconnect
+  | Show of show
+  | Ping of Ipv4.t
+  | Traceroute of Ipv4.t
+  | Configure of Change.op
+  | Reload
+  | Erase
+
+exception Parse_error of string
+
+let fail fmt = Printf.ksprintf (fun m -> raise (Parse_error m)) fmt
+
+let words s = String.split_on_char ' ' s |> List.filter (fun w -> w <> "")
+
+let addr w =
+  match Ipv4.of_string_opt w with Some a -> a | None -> fail "expected address, found %S" w
+
+let ifaddr w =
+  match Ifaddr.of_string_opt w with
+  | Some a -> a
+  | None -> fail "expected address/len, found %S" w
+
+let prefix w =
+  match Prefix.of_string_opt w with Some p -> p | None -> fail "expected prefix, found %S" w
+
+let int w =
+  match int_of_string_opt w with Some n -> n | None -> fail "expected integer, found %S" w
+
+let parse_interface_configure iface rest : Change.op =
+  match rest with
+  | [ "shutdown" ] -> Set_interface_enabled { iface; enabled = false }
+  | [ "no"; "shutdown" ] -> Set_interface_enabled { iface; enabled = true }
+  | [ "ip"; "address"; a ] -> Set_interface_addr { iface; addr = Some (ifaddr a) }
+  | [ "no"; "ip"; "address" ] -> Set_interface_addr { iface; addr = None }
+  | "description" :: ws when ws <> [] ->
+      Set_interface_description { iface; description = Some (String.concat " " ws) }
+  | [ "ospf"; "cost"; c ] -> Set_ospf_cost { iface; cost = Some (int c) }
+  | [ "no"; "ospf"; "cost" ] -> Set_ospf_cost { iface; cost = None }
+  | [ "ospf"; "area"; a ] -> Set_ospf_area { iface; area = Some (int a) }
+  | [ "no"; "ospf"; "area" ] -> Set_ospf_area { iface; area = None }
+  | [ "access-group"; name; "in" ] -> Set_acl_binding { iface; dir = `In; acl = Some name }
+  | [ "access-group"; name; "out" ] -> Set_acl_binding { iface; dir = `Out; acl = Some name }
+  | [ "no"; "access-group"; "in" ] -> Set_acl_binding { iface; dir = `In; acl = None }
+  | [ "no"; "access-group"; "out" ] -> Set_acl_binding { iface; dir = `Out; acl = None }
+  | [ "switchport"; "access"; "vlan"; v ] ->
+      Set_switchport { iface; switchport = Some (Ast.Access (int v)) }
+  | [ "switchport"; "trunk"; "allowed"; "vlan"; vs ] ->
+      Set_switchport
+        { iface; switchport = Some (Ast.Trunk (List.map int (String.split_on_char ',' vs))) }
+  | [ "no"; "switchport" ] -> Set_switchport { iface; switchport = None }
+  | _ -> fail "unknown interface configuration: %s" (String.concat " " rest)
+
+let parse_configure rest : Change.op =
+  match rest with
+  | "interface" :: iface :: sub when sub <> [] -> parse_interface_configure iface sub
+  | "access-list" :: name :: rule_words when rule_words <> [] ->
+      Acl_set_rule { acl = name; rule = Parser.parse_acl_rule (String.concat " " rule_words) }
+  | [ "no"; "access-list"; name; seq ] -> Acl_remove_rule { acl = name; seq = int seq }
+  | [ "no"; "access-list"; name ] -> Acl_remove { acl = name }
+  | [ "ip"; "route"; p; nh ] ->
+      Add_static_route { sr_prefix = prefix p; sr_next_hop = addr nh; sr_distance = 1 }
+  | [ "no"; "ip"; "route"; p; nh ] ->
+      Remove_static_route { prefix = prefix p; next_hop = addr nh }
+  | [ "ip"; "default-gateway"; a ] -> Set_default_gateway (Some (addr a))
+  | [ "no"; "ip"; "default-gateway" ] -> Set_default_gateway None
+  | [ "ospf"; "network"; p; "area"; a ] -> Ospf_set_network { prefix = prefix p; area = int a }
+  | [ "no"; "ospf"; "network"; p ] -> Ospf_remove_network { prefix = prefix p }
+  | [ "vlan"; v; "name"; n ] -> Set_vlan_name { vlan = int v; name = Some n }
+  | [ "no"; "vlan"; v ] -> Set_vlan_name { vlan = int v; name = None }
+  | _ -> fail "unknown configure command: %s" (String.concat " " rest)
+
+let parse line =
+  match words (String.trim line) with
+  | [ "connect"; node ] -> Connect node
+  | [ "disconnect" ] -> Disconnect
+  | [ "show"; "running-config" ] -> Show Running_config
+  | [ "show"; "interfaces" ] -> Show Interfaces
+  | [ "show"; "ip"; "route" ] -> Show Ip_route
+  | [ "show"; "access-lists" ] -> Show Access_lists
+  | [ "show"; "ip"; "ospf"; "neighbors" ] -> Show Ospf_neighbors
+  | [ "show"; "vlan" ] -> Show Vlans
+  | [ "show"; "topology" ] -> Show Topology_view
+  | [ "ping"; a ] -> Ping (addr a)
+  | [ "traceroute"; a ] -> Traceroute (addr a)
+  | "configure" :: rest when rest <> [] -> Configure (parse_configure rest)
+  | [ "reload" ] -> Reload
+  | [ "erase"; "startup-config" ] -> Erase
+  | [] -> fail "empty command"
+  | ws -> fail "unknown command: %s" (String.concat " " ws)
+
+let parse_result line =
+  match parse line with t -> Ok t | exception Parse_error m -> Error m
+
+let action_name = function
+  | Connect _ | Disconnect -> "show.topology"
+  | Show Running_config -> "show.config"
+  | Show Interfaces -> "show.interface"
+  | Show Ip_route -> "show.route"
+  | Show Access_lists -> "show.acl"
+  | Show Ospf_neighbors -> "show.ospf"
+  | Show Vlans -> "show.vlan"
+  | Show Topology_view -> "show.topology"
+  | Ping _ -> "diag.ping"
+  | Traceroute _ -> "diag.traceroute"
+  | Configure op -> Change.op_action_name op
+  | Reload -> "system.reboot"
+  | Erase -> "system.erase"
+
+let target_iface = function
+  | Configure op -> Change.target_iface op
+  | Connect _ | Disconnect | Show _ | Ping _ | Traceroute _ | Reload | Erase -> None
+
+let show_to_string = function
+  | Running_config -> "show running-config"
+  | Interfaces -> "show interfaces"
+  | Ip_route -> "show ip route"
+  | Access_lists -> "show access-lists"
+  | Ospf_neighbors -> "show ip ospf neighbors"
+  | Vlans -> "show vlan"
+  | Topology_view -> "show topology"
+
+let to_string = function
+  | Connect n -> "connect " ^ n
+  | Disconnect -> "disconnect"
+  | Show s -> show_to_string s
+  | Ping a -> "ping " ^ Ipv4.to_string a
+  | Traceroute a -> "traceroute " ^ Ipv4.to_string a
+  | Configure op -> "configure " ^ Change.op_to_string op
+  | Reload -> "reload"
+  | Erase -> "erase startup-config"

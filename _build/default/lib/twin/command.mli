@@ -1,0 +1,61 @@
+(** The technician-facing command language — a small device CLI.
+
+    Commands always execute in the context of the device the session is
+    connected to.  Every command maps to exactly one privilege-taxonomy
+    action, which the reference monitor checks before execution. *)
+
+open Heimdall_net
+open Heimdall_config
+
+type show =
+  | Running_config
+  | Interfaces
+  | Ip_route
+  | Access_lists
+  | Ospf_neighbors
+  | Vlans
+  | Topology_view
+
+type t =
+  | Connect of string  (** Open a console on a device. *)
+  | Disconnect
+  | Show of show
+  | Ping of Ipv4.t
+  | Traceroute of Ipv4.t
+  | Configure of Change.op  (** A single configuration edit. *)
+  | Reload  (** Reboot the device. *)
+  | Erase  (** Erase the configuration — the careless-technician bomb. *)
+
+exception Parse_error of string
+
+val parse : string -> t
+(** Parse one command line, e.g.:
+    - ["connect r3"], ["disconnect"]
+    - ["show running-config"], ["show ip route"], ["show interfaces"],
+      ["show access-lists"], ["show ip ospf neighbors"], ["show vlan"],
+      ["show topology"]
+    - ["ping 10.0.4.10"], ["traceroute 10.0.4.10"]
+    - ["configure interface eth0 shutdown"], ["configure interface eth0 no shutdown"]
+    - ["configure interface eth0 ip address 10.0.1.1/24"]
+    - ["configure interface eth0 ospf cost 5"], ["... ospf area 0"]
+    - ["configure interface eth0 access-group ACL in"], ["configure interface eth0 no access-group in"]
+    - ["configure interface eth0 switchport access vlan 10"]
+    - ["configure access-list ACL 20 permit tcp any 10.0.2.0/24 eq 80"]
+    - ["configure no access-list ACL 20"]
+    - ["configure ip route 0.0.0.0/0 10.0.1.2"], ["configure no ip route 0.0.0.0/0 10.0.1.2"]
+    - ["configure ip default-gateway 10.0.1.1"]
+    - ["configure ospf network 10.0.1.0/24 area 0"], ["configure no ospf network 10.0.1.0/24"]
+    - ["configure vlan 20 name guests"]
+    - ["reload"], ["erase startup-config"]
+    @raise Parse_error on malformed input. *)
+
+val parse_result : string -> (t, string) result
+
+val action_name : t -> Heimdall_privilege.Action.t
+(** The privilege-taxonomy action this command needs.  [Connect] and
+    [Disconnect] map to ["show.topology"] (seeing that a device exists). *)
+
+val target_iface : t -> string option
+(** Interface scope of the command, when it has one. *)
+
+val to_string : t -> string

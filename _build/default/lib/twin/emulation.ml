@@ -1,0 +1,81 @@
+open Heimdall_net
+open Heimdall_config
+open Heimdall_control
+
+type t = {
+  mutable network : Network.t;
+  baseline : Network.t;
+  mutable dataplane : Dataplane.t option;
+  mutable reloads : int;
+}
+
+let create_unchecked network =
+  { network; baseline = network; dataplane = None; reloads = 0 }
+
+let create network =
+  List.iter
+    (fun (node, cfg) ->
+      if not (Redact.is_scrubbed cfg) then
+        invalid_arg
+          (Printf.sprintf "Emulation.create: node %s carries unscrubbed secrets" node))
+    (Network.configs network);
+  create_unchecked network
+
+let network t = t.network
+let baseline t = t.baseline
+
+let dataplane t =
+  match t.dataplane with
+  | Some dp -> dp
+  | None ->
+      let dp = Dataplane.compute t.network in
+      t.dataplane <- Some dp;
+      dp
+
+let invalidate t = t.dataplane <- None
+
+let apply t ~node op =
+  match Network.apply_changes [ Change.v node op ] t.network with
+  | Error _ as e -> e
+  | Ok net ->
+      t.network <- net;
+      invalidate t;
+      Ok ()
+
+let erase t ~node =
+  match Network.config node t.network with
+  | None -> ()
+  | Some cfg ->
+      let wiped =
+        Ast.make
+          ~interfaces:
+            (List.map
+               (fun (i : Ast.interface) -> Ast.interface ~enabled:i.enabled i.if_name)
+               cfg.interfaces)
+          cfg.hostname
+      in
+      t.network <- Network.with_config node wiped t.network;
+      invalidate t
+
+let reload t ~node =
+  ignore node;
+  t.reloads <- t.reloads + 1
+
+let reload_count t = t.reloads
+
+let changes t =
+  List.concat_map
+    (fun (node, after) ->
+      match Network.config node t.baseline with
+      | None -> []
+      | Some before -> Change.diff ~node before after)
+    (Network.configs t.network)
+
+let source_address t node = Network.host_address node t.network
+
+let ping t ~node dst =
+  match source_address t node with
+  | None -> None
+  | Some src -> Some (Heimdall_verify.Trace.trace (dataplane t) (Flow.icmp src dst))
+
+let traceroute = ping

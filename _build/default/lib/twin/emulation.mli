@@ -1,0 +1,50 @@
+(** The twin's emulation layer: holds the emulated network state
+    (configurations + topology of the slice), executes configuration
+    edits, recomputes the dataplane on demand, and answers data queries.
+    It never formats console output — that is the presentation layer's
+    job — and it is only ever driven through the reference monitor. *)
+
+open Heimdall_net
+open Heimdall_config
+open Heimdall_control
+
+type t
+
+val create : Network.t -> t
+(** Wrap an (already sliced and scrubbed) network as the twin's emulated
+    state.  @raise Invalid_argument if any config still carries an
+    unscrubbed secret — the emulation layer refuses sensitive data by
+    construction. *)
+
+val create_unchecked : Network.t -> t
+(** Like {!create} without the scrubbing check — for baselines that
+    deliberately model today's direct-access workflow. *)
+
+val network : t -> Network.t
+val baseline : t -> Network.t
+(** The state at twin creation (for change extraction). *)
+
+val dataplane : t -> Dataplane.t
+(** Current dataplane; cached until the next successful edit. *)
+
+val apply : t -> node:string -> Change.op -> (unit, string) result
+(** Apply one configuration edit to a device. *)
+
+val erase : t -> node:string -> unit
+(** Wipe a device's config (addresses, ACLs, routes, OSPF, VLANs) — what
+    the careless-technician command does. *)
+
+val reload : t -> node:string -> unit
+(** Reboot: in this model a no-op with bookkeeping (reload count). *)
+
+val reload_count : t -> int
+
+val changes : t -> Change.t list
+(** Config changes made since creation ({!baseline} vs current), for all
+    devices, in node order. *)
+
+val ping : t -> node:string -> Ipv4.t -> Heimdall_verify.Trace.result option
+(** Trace an ICMP flow sourced at the node's primary address; [None] if
+    the node has no address to source from. *)
+
+val traceroute : t -> node:string -> Ipv4.t -> Heimdall_verify.Trace.result option

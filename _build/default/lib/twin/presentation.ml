@@ -1,0 +1,101 @@
+open Heimdall_net
+open Heimdall_config
+open Heimdall_control
+
+let with_config em ~node f =
+  match Network.config node (Emulation.network em) with
+  | None -> Printf.sprintf "%% no such device: %s\n" node
+  | Some cfg -> f cfg
+
+let running_config em ~node = with_config em ~node Printer.render
+
+let interfaces em ~node =
+  with_config em ~node (fun cfg ->
+      let buf = Buffer.create 256 in
+      List.iter
+        (fun (i : Ast.interface) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%-12s %-18s %s%s\n" i.if_name
+               (match i.addr with Some a -> Ifaddr.to_string a | None -> "unassigned")
+               (if i.enabled then "up" else "administratively down")
+               (match i.description with Some d -> "  ! " ^ d | None -> "")))
+        cfg.interfaces;
+      Buffer.contents buf)
+
+let ip_route em ~node =
+  let dp = Emulation.dataplane em in
+  let fib = Dataplane.fib node dp in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun r -> Buffer.add_string buf (Fib.route_to_string r ^ "\n"))
+    (Fib.routes fib);
+  if Buffer.length buf = 0 then "no routes\n" else Buffer.contents buf
+
+let access_lists em ~node =
+  with_config em ~node (fun cfg ->
+      match cfg.acls with
+      | [] -> "no access-lists\n"
+      | acls -> String.concat "" (List.map Printer.render_acl acls))
+
+let ospf_neighbors em ~node =
+  let dp = Emulation.dataplane em in
+  let net = Emulation.network em in
+  let adjs = Ospf.adjacencies net (Dataplane.l2 dp) in
+  let mine =
+    List.filter_map
+      (fun ((a : Ospf.iface), (b : Ospf.iface)) ->
+        if a.router = node then Some (a, b)
+        else if b.router = node then Some (b, a)
+        else None)
+      adjs
+  in
+  match mine with
+  | [] -> "no ospf neighbors\n"
+  | _ ->
+      String.concat ""
+        (List.map
+           (fun ((mine : Ospf.iface), (theirs : Ospf.iface)) ->
+             Printf.sprintf "%-10s area %d via %s -> %s (%s)\n" theirs.router mine.area
+               mine.iface theirs.iface
+               (Ifaddr.to_string theirs.addr))
+           mine)
+
+let vlans em ~node =
+  with_config em ~node (fun cfg ->
+      match cfg.vlans with
+      | [] -> "no vlans\n"
+      | vlans ->
+          String.concat ""
+            (List.map (fun (id, name) -> Printf.sprintf "vlan %-4d %s\n" id name) vlans))
+
+let topology_view em =
+  let net = Emulation.network em in
+  let topo = Network.topology net in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun (n : Topology.node) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%-12s %s\n" n.name (Topology.node_kind_to_string n.kind)))
+    (Topology.nodes topo);
+  List.iter
+    (fun (l : Topology.link) ->
+      Buffer.add_string buf
+        (Printf.sprintf "%s <-> %s\n"
+           (Topology.endpoint_to_string l.a)
+           (Topology.endpoint_to_string l.b)))
+    (Topology.links topo);
+  Buffer.contents buf
+
+let ping em ~node dst =
+  match Emulation.ping em ~node dst with
+  | None -> "% cannot source ping: no local address\n"
+  | Some result ->
+      if Heimdall_verify.Trace.is_delivered result then
+        Printf.sprintf "ping %s: success (5/5 received)\n" (Ipv4.to_string dst)
+      else
+        Printf.sprintf "ping %s: failed (0/5 received)\n" (Ipv4.to_string dst)
+
+let traceroute em ~node dst =
+  match Emulation.traceroute em ~node dst with
+  | None -> "% cannot source traceroute: no local address\n"
+  | Some result -> Heimdall_verify.Trace.result_to_string result

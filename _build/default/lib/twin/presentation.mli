@@ -1,0 +1,20 @@
+(** The twin's presentation layer: formats device and network state for
+    the technician's console.  All output comes from the twin's (already
+    scrubbed) emulated state; this layer is the only thing a technician
+    ever sees. *)
+
+open Heimdall_net
+
+val running_config : Emulation.t -> node:string -> string
+val interfaces : Emulation.t -> node:string -> string
+val ip_route : Emulation.t -> node:string -> string
+val access_lists : Emulation.t -> node:string -> string
+val ospf_neighbors : Emulation.t -> node:string -> string
+val vlans : Emulation.t -> node:string -> string
+
+val topology_view : Emulation.t -> string
+(** The slice's nodes and links — a technician sees only the twin, never
+    the full production topology. *)
+
+val ping : Emulation.t -> node:string -> Ipv4.t -> string
+val traceroute : Emulation.t -> node:string -> Ipv4.t -> string

@@ -1,0 +1,32 @@
+(** Twin-network construction: slice the production network for the task,
+    scrub secrets, and wrap the result in an emulation layer with a
+    monitored session on top. *)
+
+open Heimdall_control
+open Heimdall_privilege
+
+val build :
+  ?strategy:Slicer.strategy ->
+  ?env_stubs:bool ->
+  production:Network.t ->
+  endpoints:string list ->
+  unit ->
+  Emulation.t
+(** Create the twin's emulation layer for a ticket affecting [endpoints].
+    Defaults to the task-driven slice.  All secrets are scrubbed; the
+    emulation layer re-checks this at construction.
+
+    With [env_stubs] (default false), every boundary link keeps carrier:
+    a synthetic ["env-<peer>"] router owns the outside interface's address
+    so next hops stay pingable, without exposing the outside device's
+    config, secrets, or onward topology (the paper's Challenge 2 fidelity
+    refinement). *)
+
+val open_session :
+  ?technician:string -> privilege:Privilege.t -> Emulation.t -> Session.t
+(** Open a monitored technician session on a twin. *)
+
+val slice_nodes :
+  ?strategy:Slicer.strategy -> production:Network.t -> endpoints:string list -> unit ->
+  string list
+(** The node set the twin would contain (exposed for metrics). *)

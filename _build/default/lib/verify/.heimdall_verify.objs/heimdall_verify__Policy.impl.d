@@ -1,0 +1,1 @@
+lib/verify/policy.ml: Flow Format Heimdall_net List Option Printf String Trace

@@ -1,0 +1,1 @@
+lib/verify/policy.mli: Dataplane Flow Format Heimdall_control Heimdall_net

@@ -1,0 +1,1 @@
+lib/verify/reachability.ml: Dataplane Flow Hashtbl Heimdall_control Heimdall_net Ipv4 List Network Option Printf String Topology Trace

@@ -1,0 +1,1 @@
+lib/verify/reachability.mli: Dataplane Heimdall_config Heimdall_control Network

@@ -1,0 +1,1 @@
+lib/verify/spec_miner.ml: Ast Dataplane Flow Hashtbl Heimdall_config Heimdall_control Heimdall_net Ifaddr Ipv4 List Network Option Policy Prefix Printf String Topology Trace

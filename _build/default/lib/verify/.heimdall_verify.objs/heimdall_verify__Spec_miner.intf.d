@@ -1,0 +1,1 @@
+lib/verify/spec_miner.mli: Dataplane Heimdall_control Heimdall_net Network Policy Prefix

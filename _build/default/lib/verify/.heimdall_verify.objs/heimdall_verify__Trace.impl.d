@@ -1,0 +1,1 @@
+lib/verify/trace.ml: Acl Ast Buffer Dataplane Fib Flow Hashtbl Heimdall_config Heimdall_control Heimdall_net Ifaddr Ipv4 L2 List Network Option Printf String Topology

@@ -1,0 +1,1 @@
+lib/verify/trace.mli: Dataplane Flow Heimdall_control Heimdall_net Ipv4

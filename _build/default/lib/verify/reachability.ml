@@ -1,0 +1,63 @@
+open Heimdall_net
+open Heimdall_control
+
+type matrix = {
+  hosts : (string * Ipv4.t) list;  (* sorted by name *)
+  reach : (string * string, bool) Hashtbl.t;
+}
+
+let addressed_hosts net =
+  Network.node_names net
+  |> List.filter_map (fun n ->
+         if Network.kind n net = Some Topology.Host then
+           Option.map (fun a -> (n, a)) (Network.host_address n net)
+         else None)
+
+let compute dp =
+  let net = Dataplane.network dp in
+  let hosts = addressed_hosts net in
+  let reach = Hashtbl.create (List.length hosts * List.length hosts) in
+  List.iter
+    (fun (src, src_addr) ->
+      List.iter
+        (fun (dst, dst_addr) ->
+          if src <> dst then
+            Hashtbl.replace reach (src, dst)
+              (Trace.is_delivered (Trace.trace dp (Flow.icmp src_addr dst_addr))))
+        hosts)
+    hosts;
+  { hosts; reach }
+
+let reachable ~src ~dst m = Hashtbl.find_opt m.reach (src, dst)
+let pair_count m = Hashtbl.length m.reach
+let reachable_count m = Hashtbl.fold (fun _ ok n -> if ok then n + 1 else n) m.reach 0
+
+type impact = { gained : (string * string) list; lost : (string * string) list }
+
+let diff ~before ~after =
+  let gained = ref [] and lost = ref [] in
+  Hashtbl.iter
+    (fun pair ok_before ->
+      match Hashtbl.find_opt after.reach pair with
+      | Some ok_after when ok_before <> ok_after ->
+          if ok_after then gained := pair :: !gained else lost := pair :: !lost
+      | _ -> ())
+    before.reach;
+  {
+    gained = List.sort compare !gained;
+    lost = List.sort compare !lost;
+  }
+
+let impact_to_string i =
+  if i.gained = [] && i.lost = [] then "no reachability change"
+  else
+    let fmt sign (a, b) = Printf.sprintf "%s %s -> %s" sign a b in
+    String.concat "\n" (List.map (fmt "+") i.gained @ List.map (fmt "-") i.lost)
+
+let impact_of_changes ~production changes =
+  match Network.apply_changes changes production with
+  | Error _ as e -> ( match e with Error m -> Error m | Ok _ -> assert false)
+  | Ok shadow ->
+      let before = compute (Dataplane.compute production) in
+      let after = compute (Dataplane.compute shadow) in
+      Ok (diff ~before ~after)

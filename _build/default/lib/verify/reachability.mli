@@ -1,0 +1,35 @@
+(** Whole-network reachability matrices and change-impact analysis.
+
+    The enforcer uses this to answer the operator's real question about a
+    change set: {e who can talk to whom now that couldn't before — and
+    who lost connectivity}? *)
+
+open Heimdall_control
+
+type matrix
+(** Host-pair ICMP reachability: for every ordered pair of addressed
+    hosts, whether a flow is delivered. *)
+
+val compute : Dataplane.t -> matrix
+(** One trace per ordered host pair. *)
+
+val reachable : src:string -> dst:string -> matrix -> bool option
+(** [None] when either host is unknown/unaddressed. *)
+
+val pair_count : matrix -> int
+val reachable_count : matrix -> int
+
+type impact = {
+  gained : (string * string) list;  (** Newly connected (src, dst). *)
+  lost : (string * string) list;  (** Newly disconnected. *)
+}
+
+val diff : before:matrix -> after:matrix -> impact
+(** Pairs present in both matrices whose verdict flipped. *)
+
+val impact_to_string : impact -> string
+(** ["no reachability change"] or a +/- listing. *)
+
+val impact_of_changes :
+  production:Network.t -> Heimdall_config.Change.t list -> (impact, string) result
+(** Convenience: compute both matrices around a change set. *)

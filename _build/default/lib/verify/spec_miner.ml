@@ -1,0 +1,96 @@
+open Heimdall_net
+open Heimdall_config
+open Heimdall_control
+
+type options = { mine_icmp : bool; tcp_services : (string * int) list }
+
+let default_options = { mine_icmp = true; tcp_services = [] }
+
+let host_subnets net =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun node ->
+      if Network.kind node net = Some Topology.Host then
+        match Network.config node net with
+        | None -> ()
+        | Some cfg ->
+            List.iter
+              (fun (i : Ast.interface) ->
+                match i.addr with
+                | Some a when i.enabled ->
+                    let subnet = Ifaddr.subnet a in
+                    let key = Prefix.to_string subnet in
+                    let cur =
+                      Option.value (Hashtbl.find_opt tbl key) ~default:(subnet, [])
+                    in
+                    Hashtbl.replace tbl key (fst cur, node :: snd cur)
+                | _ -> ())
+              cfg.interfaces)
+    (Network.node_names net);
+  Hashtbl.fold (fun _ (subnet, hosts) acc -> (subnet, List.sort String.compare hosts) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> Prefix.compare a b)
+
+let representative net hosts =
+  (* First host (sorted) with an address. *)
+  List.find_map (fun h -> Option.map (fun a -> (h, a)) (Network.host_address h net)) hosts
+
+let firewalls net = Network.node_names net |> List.filter (fun n -> Network.kind n net = Some Topology.Firewall)
+
+let classify dp (flow : Flow.t) =
+  match Trace.trace dp flow with
+  | Trace.Delivered _ as r -> `Delivered (Trace.nodes_on_path r)
+  | Trace.Dropped (Trace.Acl_denied _, _) -> `Acl_denied
+  | Trace.Dropped _ -> `Broken
+
+let mine ?(options = default_options) dp =
+  let net = Dataplane.network dp in
+  let subnets = host_subnets net in
+  let fws = firewalls net in
+  let icmp_policies =
+    if not options.mine_icmp then []
+    else
+      List.concat_map
+        (fun (src_subnet, src_hosts) ->
+          List.filter_map
+            (fun (dst_subnet, dst_hosts) ->
+              if Prefix.equal src_subnet dst_subnet then None
+              else
+                match (representative net src_hosts, representative net dst_hosts) with
+                | Some (_, src_addr), Some (_, dst_addr) -> (
+                    let flow = Flow.icmp src_addr dst_addr in
+                    let src_label = Prefix.to_string src_subnet in
+                    let dst_label = Prefix.to_string dst_subnet in
+                    match classify dp flow with
+                    | `Delivered path -> (
+                        match List.find_opt (fun fw -> List.mem fw path) fws with
+                        | Some fw ->
+                            Some (Policy.waypoint ~src_label ~dst_label ~via:fw flow)
+                        | None -> Some (Policy.reachable ~src_label ~dst_label flow))
+                    | `Acl_denied -> Some (Policy.isolated ~src_label ~dst_label flow)
+                    | `Broken -> None)
+                | _ -> None)
+            subnets)
+        subnets
+  in
+  let tcp_policies =
+    List.concat_map
+      (fun (server, port) ->
+        match Network.host_address server net with
+        | None -> []
+        | Some server_addr ->
+            List.filter_map
+              (fun (src_subnet, src_hosts) ->
+                match representative net src_hosts with
+                | Some (_, src_addr) when not (Ipv4.equal src_addr server_addr) -> (
+                    let flow = Flow.tcp ~dst_port:port src_addr server_addr in
+                    let src_label = Prefix.to_string src_subnet in
+                    let dst_label = Printf.sprintf "%s:%d" server port in
+                    match classify dp flow with
+                    | `Delivered _ -> Some (Policy.reachable ~src_label ~dst_label flow)
+                    | `Acl_denied -> Some (Policy.isolated ~src_label ~dst_label flow)
+                    | `Broken -> None)
+                | _ -> None)
+              subnets)
+      options.tcp_services
+  in
+  icmp_policies @ tcp_policies

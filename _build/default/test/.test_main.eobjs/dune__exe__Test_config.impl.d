@@ -1,0 +1,1 @@
+test/test_config.ml: Acl Alcotest Ast Change Flow Heimdall_config Heimdall_net Ifaddr Ipv4 List Option Parser Prefix Printer QCheck QCheck_alcotest Redact Result String

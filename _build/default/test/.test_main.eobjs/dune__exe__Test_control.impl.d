@@ -1,0 +1,1 @@
+test/test_control.ml: Alcotest Ast Bgp Change Dataplane Fib Heimdall_config Heimdall_control Heimdall_net Heimdall_scenarios Ifaddr Ipv4 L2 List Network Option Ospf Prefix Result Topology

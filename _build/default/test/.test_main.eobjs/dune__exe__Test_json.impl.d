@@ -1,0 +1,1 @@
+test/test_json.ml: Alcotest Heimdall_json List QCheck QCheck_alcotest

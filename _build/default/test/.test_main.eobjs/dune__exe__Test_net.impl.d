@@ -1,0 +1,1 @@
+test/test_net.ml: Acl Alcotest Flow Graph Hashtbl Heimdall_net Ifaddr Ipv4 List Option Prefix Prefix_trie QCheck QCheck_alcotest Topology

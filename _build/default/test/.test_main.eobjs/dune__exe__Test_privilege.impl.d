@@ -1,0 +1,1 @@
+test/test_privilege.ml: Action Alcotest Dsl Heimdall_net Heimdall_privilege Json_frontend List Printf Privilege QCheck QCheck_alcotest String Topology

