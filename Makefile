@@ -1,0 +1,18 @@
+# CI entry points.  `make check` is what the pipeline runs on every
+# change: a full build plus the tier-1 test suite.
+
+.PHONY: check build test bench clean
+
+check: build test
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+bench:
+	dune exec bench/main.exe
+
+clean:
+	dune clean

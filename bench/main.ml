@@ -5,9 +5,9 @@
    Usage:
      dune exec bench/main.exe            # all reports + micro-benchmarks
      dune exec bench/main.exe -- table1  # one artifact
-     dune exec bench/main.exe -- fig7 | fig8 | fig9 | ablation-verify
-                                 | ablation-slicer | ablation-audit
-                                 | containment | micro *)
+     dune exec bench/main.exe -- fig7 | fig8 | fig9 | engine
+                                 | ablation-verify | ablation-slicer
+                                 | ablation-audit | containment | micro *)
 
 open Bechamel
 open Toolkit
@@ -45,17 +45,44 @@ let report_fig7_university () =
 
 let report_fig8 () =
   print_string "== Figure 8: feasibility and attack surface (enterprise) ==\n";
+  let engine = Heimdall_verify.Engine.create () in
   print_string
     (Experiments.render_sweep ~title:"bring down each interface; All vs Neighbor vs Heimdall"
-       (Experiments.fig8 ()));
+       (Experiments.fig8 ~engine ()));
+  print_string (Heimdall_verify.Engine.render_stats (Heimdall_verify.Engine.stats engine));
   print_newline ()
 
 let report_fig9 () =
   print_string "== Figure 9: feasibility and attack surface (university) ==\n";
+  let engine = Heimdall_verify.Engine.create () in
   print_string
     (Experiments.render_sweep ~title:"bring down each interface; All vs Neighbor vs Heimdall"
-       (Experiments.fig9 ()));
+       (Experiments.fig9 ~engine ()));
+  print_string (Heimdall_verify.Engine.render_stats (Heimdall_verify.Engine.stats engine));
   print_newline ()
+
+let report_engine () =
+  let open Heimdall_verify in
+  print_string "== Verify engine: 1-domain vs N-domain university sweep ==\n";
+  let net, policies = Experiments.university () in
+  let run domains =
+    let engine = Engine.create ~domains () in
+    let summaries, wall =
+      Heimdall_msp.Timing.elapsed (fun () ->
+          Metrics.sweep_all ~engine ~production:net ~policies ())
+    in
+    (summaries, wall, Engine.stats engine)
+  in
+  let s1, wall1, stats1 = run 1 in
+  (* At least 2 so the parallel path is exercised even on a 1-core host
+     (where no speedup can be expected). *)
+  let n = max 2 (Engine.default_domains ()) in
+  let sn, walln, statsn = run n in
+  Printf.printf "1 domain : %.3f s\n%s" wall1 (Engine.render_stats stats1);
+  Printf.printf "%d domains: %.3f s  (%.2fx speedup)\n%s" n walln
+    (wall1 /. Float.max 1e-9 walln)
+    (Engine.render_stats statsn);
+  Printf.printf "verdicts identical across domain counts: %b\n\n" (s1 = sn)
 
 let report_ablation_verify () =
   print_string "== Ablation A1: continuous vs batch policy verification ==\n";
@@ -224,6 +251,7 @@ let reports =
     ("fig7-university", report_fig7_university);
     ("fig8", report_fig8);
     ("fig9", report_fig9);
+    ("engine", report_engine);
     ("ablation-verify", report_ablation_verify);
     ("ablation-slicer", report_ablation_slicer);
     ("ablation-audit", report_ablation_audit);

@@ -6,3 +6,10 @@ let twin_boot_base_s = 8.0
 let twin_boot_per_node_s = 0.5
 let verify_review_s = 4.0
 let now () = Unix.gettimeofday ()
+
+let elapsed f =
+  let t0 = now () in
+  let v = f () in
+  (* The wall clock is not monotonic: an NTP step mid-run would
+     otherwise surface as a negative duration in reports. *)
+  (v, Float.max 0.0 (now () -. t0))

@@ -32,4 +32,11 @@ val verify_review_s : float
 (** Operator acknowledging the verification/scheduling report (4 s). *)
 
 val now : unit -> float
-(** Monotonic-enough wall clock used for the measured components. *)
+(** Raw wall clock ([Unix.gettimeofday]); {b not} monotonic.  Prefer
+    {!elapsed} for durations. *)
+
+val elapsed : (unit -> 'a) -> 'a * float
+(** [elapsed f] runs [f] and returns its result with the wall-clock
+    seconds it took, clamped at zero so a backwards clock step (NTP
+    adjustment) can never yield a negative duration.  Every measured
+    component routes through this one helper. *)

@@ -34,11 +34,6 @@ let run_to_string r =
     r.steps;
   Buffer.contents buf
 
-let timed f =
-  let t0 = Timing.now () in
-  let v = f () in
-  (v, Timing.now () -. t0)
-
 let probe_resolved (issue : Issue.t) net =
   Trace.is_delivered (Trace.trace (Dataplane.compute net) issue.probe)
 
@@ -51,7 +46,7 @@ let run_current ~production ~(issue : Issue.t) =
   let session = Rmm.open_direct_session broken in
   let connect = { label = "connect"; human_s = Timing.connect_s; compute_s = 0.0 } in
   let (_ : (string, Session.error) result list), ops_compute =
-    timed (fun () -> Session.exec_many session issue.fix_commands)
+    Timing.elapsed (fun () -> Session.exec_many session issue.fix_commands)
   in
   let operations =
     {
@@ -77,7 +72,7 @@ let run_heimdall ?(strategy = Slicer.Task) ~production ~policies ~(issue : Issue
   let broken = issue.inject production in
   (* Step 1: generate the Privilege_msp. *)
   let (slice, privilege), privgen_compute =
-    timed (fun () ->
+    Timing.elapsed (fun () ->
         let slice =
           Twin.slice_nodes ~strategy ~production:broken
             ~endpoints:issue.ticket.endpoints ()
@@ -93,7 +88,7 @@ let run_heimdall ?(strategy = Slicer.Task) ~production ~policies ~(issue : Issue
   in
   (* Step 2: build the twin (slice, scrub, boot, precompute dataplane). *)
   let emulation, twin_compute =
-    timed (fun () ->
+    Timing.elapsed (fun () ->
         let em =
           Twin.build ~strategy ~production:broken ~endpoints:issue.ticket.endpoints ()
         in
@@ -110,7 +105,7 @@ let run_heimdall ?(strategy = Slicer.Task) ~production ~policies ~(issue : Issue
   let session = Twin.open_session ~privilege emulation in
   let connect = { label = "connect"; human_s = Timing.connect_s; compute_s = 0.0 } in
   let (_ : (string, Session.error) result list), ops_compute =
-    timed (fun () -> Session.exec_many session issue.fix_commands)
+    Timing.elapsed (fun () -> Session.exec_many session issue.fix_commands)
   in
   let operations =
     {
@@ -121,7 +116,7 @@ let run_heimdall ?(strategy = Slicer.Task) ~production ~policies ~(issue : Issue
   in
   (* Step 3: verify changes and schedule them into production. *)
   let outcome, verify_compute =
-    timed (fun () ->
+    Timing.elapsed (fun () ->
         Heimdall_enforcer.Enforcer.process ~production:broken ~policies ~privilege
           ~session ())
   in

@@ -48,6 +48,18 @@ let events ~seed ~tickets ~malicious_pct =
    healthy network) so models are compared on identical inputs.         *)
 (* ------------------------------------------------------------------ *)
 
+(* Round-robin issue selection for honest repairs.  Guarded: a network
+   with no prepared issues must fail with a clear message, not a
+   [Division_by_zero] from [mod] (or a [List.nth] failure). *)
+let issue_for issues event =
+  match issues with
+  | [] ->
+      invalid_arg
+        (Printf.sprintf
+           "Campaign: honest-repair event %d but the network supplies no issues"
+           event.index)
+  | _ -> List.nth issues (event.index mod List.length issues)
+
 let gateway_of net =
   (* Any access router carrying an SVI makes a good erase target. *)
   match
@@ -89,7 +101,7 @@ let routers net =
 let run_rmm_event net policies issues event =
   match event.kind with
   | Honest_repair ->
-      let issue = List.nth issues (event.index mod List.length issues) in
+      let issue = issue_for issues event in
       let run = Workflow.run_current ~production:net ~issue in
       ((if run.Workflow.resolved then 1 else 0), 0, 0, 0)
   | Exfiltration ->
@@ -136,7 +148,7 @@ let generic_ticket net =
 let run_heimdall_event net policies issues event =
   match event.kind with
   | Honest_repair ->
-      let issue = List.nth issues (event.index mod List.length issues) in
+      let issue = issue_for issues event in
       let run = Workflow.run_heimdall ~production:net ~policies ~issue () in
       ((if run.Workflow.resolved then 1 else 0), 0, 0, 0)
   | Exfiltration ->
@@ -170,7 +182,9 @@ let run_heimdall_event net policies issues event =
       (0, 0, 0, (if blocked then 1 else 0))
 
 let run ?(seed = 42) ?(tickets = 40) ?(malicious_pct = 20) net policies issues =
-  if issues = [] then invalid_arg "Campaign.run: no issues supplied";
+  (* No blanket issue check here: an all-malicious campaign never draws
+     an issue, and [issue_for] reports the empty case clearly if an
+     honest repair does come up. *)
   let stream = events ~seed ~tickets ~malicious_pct in
   let tally model handler =
     let repaired, leaked, damaged, blocked =

@@ -3,8 +3,6 @@ open Heimdall_control
 open Heimdall_verify
 open Heimdall_msp
 
-let now () = Unix.gettimeofday ()
-
 let cached f =
   let cell = ref None in
   fun () ->
@@ -136,13 +134,13 @@ let fig7_overhead cells =
 (* Figures 8 & 9                                                    *)
 (* --------------------------------------------------------------- *)
 
-let fig8 () =
+let fig8 ?engine () =
   let net, policies = enterprise () in
-  Metrics.sweep_all ~production:net ~policies ()
+  Metrics.sweep_all ?engine ~production:net ~policies ()
 
-let fig9 () =
+let fig9 ?engine () =
   let net, policies = university () in
-  Metrics.sweep_all ~production:net ~policies ()
+  Metrics.sweep_all ?engine ~production:net ~policies ()
 
 let render_sweep ~title summaries =
   let buf = Buffer.create 256 in
@@ -177,14 +175,13 @@ let ablation_verify () =
     let dp = Dataplane.compute broken in
     ignore (Policy.check_all dp policies)
   in
-  let t0 = now () in
-  check ();
-  let batch_s = now () -. t0 in
-  let t1 = now () in
-  for _ = 1 to actions do
-    check ()
-  done;
-  let continuous_s = now () -. t1 in
+  let (), batch_s = Timing.elapsed check in
+  let (), continuous_s =
+    Timing.elapsed (fun () ->
+        for _ = 1 to actions do
+          check ()
+        done)
+  in
   { policies_checked = List.length policies; batch_s; continuous_s; actions }
 
 let render_ablation_verify a =
@@ -276,28 +273,30 @@ type audit_ablation = {
 let ablation_audit () =
   let open Heimdall_enforcer in
   let records = 1000 in
-  let t0 = now () in
   let audit = ref Audit.empty in
-  for i = 1 to records do
-    audit :=
-      Audit.append ~actor:"tech" ~action:"acl.rule" ~resource:"r8"
-        ~detail:(Printf.sprintf "configure access-list SRV_PROT %d permit ip any any" i)
-        ~verdict:"allowed" !audit
-  done;
-  let append_s = now () -. t0 in
-  let t1 = now () in
-  let verified = Audit.verify !audit = Ok () in
-  let verify_s = now () -. t1 in
+  let (), append_s =
+    Timing.elapsed (fun () ->
+        for i = 1 to records do
+          audit :=
+            Audit.append ~actor:"tech" ~action:"acl.rule" ~resource:"r8"
+              ~detail:
+                (Printf.sprintf "configure access-list SRV_PROT %d permit ip any any" i)
+              ~verdict:"allowed" !audit
+        done)
+  in
+  let verified, verify_s = Timing.elapsed (fun () -> Audit.verify !audit = Ok ()) in
   let enclave = Enforcer.default_enclave in
-  let t2 = now () in
   let iterations = 100 in
-  for _ = 1 to iterations do
-    let sealed = Enclave.seal enclave (Audit.head !audit) in
-    match Enclave.unseal enclave sealed with
-    | Ok _ -> ()
-    | Error m -> invalid_arg m
-  done;
-  let seal_unseal_s = (now () -. t2) /. float_of_int iterations in
+  let (), seal_total_s =
+    Timing.elapsed (fun () ->
+        for _ = 1 to iterations do
+          let sealed = Enclave.seal enclave (Audit.head !audit) in
+          match Enclave.unseal enclave sealed with
+          | Ok _ -> ()
+          | Error m -> invalid_arg m
+        done)
+  in
+  let seal_unseal_s = seal_total_s /. float_of_int iterations in
   let tampered =
     Audit.tamper 500 (fun r -> { r with Audit.verdict = "denied" }) !audit
   in

@@ -40,10 +40,12 @@ val fig7_overhead : fig7_cell list -> (string * float) list
 
 (** {2 Figures 8 & 9 — attack surface vs feasibility} *)
 
-val fig8 : unit -> Metrics.summary list
-(** Enterprise sweep: All / Neighbor / Heimdall. *)
+val fig8 : ?engine:Heimdall_verify.Engine.t -> unit -> Metrics.summary list
+(** Enterprise sweep: All / Neighbor / Heimdall.  [?engine] selects the
+    verification engine (domain pool + caches); the default is a private
+    single-domain engine. *)
 
-val fig9 : unit -> Metrics.summary list
+val fig9 : ?engine:Heimdall_verify.Engine.t -> unit -> Metrics.summary list
 (** University sweep. *)
 
 val render_sweep : title:string -> Metrics.summary list -> string

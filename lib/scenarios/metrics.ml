@@ -116,15 +116,16 @@ let attack_surface net policies healthy_paths privilege =
 
 (* Identify the incident a failure causes: the endpoints of a broken
    reachability policy, or the failed link's two ends as a fallback. *)
-let incident_endpoints net broken_net policies healthy_violated (failed : Topology.endpoint) =
-  let dp = Dataplane.compute broken_net in
+let incident_endpoints engine net dp policies healthy_violated (failed : Topology.endpoint) =
   let broken_policy =
     List.find_opt
       (fun (p : Policy.t) ->
         (not (List.mem p.id healthy_violated))
         && p.flow.proto = Flow.Icmp
         &&
-        match Policy.check dp p with Policy.Violated _ -> true | Policy.Holds -> false)
+        match Policy.verdict_of_trace p (Engine.trace engine dp p.flow) with
+        | Policy.Violated _ -> true
+        | Policy.Holds -> false)
       policies
   in
   match broken_policy with
@@ -138,32 +139,36 @@ let incident_endpoints net broken_net policies healthy_violated (failed : Topolo
       | Some peer -> [ failed.node; peer.node ]
       | None -> [ failed.node ])
 
-let sweep_points ~production ~policies =
-  (* Shared per-network data. *)
-  let healthy_dp = Dataplane.compute production in
+let sweep_points ?engine ~production ~policies () =
+  let engine = match engine with Some e -> e | None -> Engine.create ~domains:1 () in
+  Engine.phase engine "sweep/prepare" @@ fun () ->
+  (* Shared per-network data: the healthy dataplane and its traces are
+     computed once and reused by every sweep point. *)
+  let healthy_dp = Engine.dataplane engine production in
   let healthy_paths =
-    List.map
+    Engine.map engine
       (fun (p : Policy.t) ->
-        (p.id, Trace.nodes_on_path (Trace.trace healthy_dp p.flow)))
+        (p.id, Trace.nodes_on_path (Engine.trace engine healthy_dp p.flow)))
       policies
   in
   let healthy_violated =
-    (Policy.check_all healthy_dp policies).violations |> List.map (fun ((p : Policy.t), _) -> p.id)
+    (Policy.check_all ~engine healthy_dp policies).violations
+    |> List.map (fun ((p : Policy.t), _) -> p.id)
   in
   let candidates = failure_candidates production in
-  List.map
+  Engine.map engine
     (fun (failed : Topology.endpoint) ->
       let change =
         Change.v failed.node
           (Change.Set_interface_enabled { iface = failed.iface; enabled = false })
       in
-      let broken =
+      let broken, broken_dp =
         match Network.apply_changes [ change ] production with
-        | Ok net -> net
+        | Ok net -> (net, Engine.dataplane engine net)
         | Error m -> invalid_arg ("Metrics.sweep: " ^ m)
       in
       let endpoints =
-        incident_endpoints production broken policies healthy_violated failed
+        incident_endpoints engine production broken_dp policies healthy_violated failed
       in
       let ticket =
         Ticket.make ~id:"SWEEP" ~kind:Ticket.Connectivity
@@ -185,9 +190,11 @@ let summarise technique points =
       List.fold_left (fun acc p -> acc +. p.attack_surface) 0.0 points /. float_of_int n;
   }
 
-let evaluate_technique ~production ~policies technique prepared =
+let evaluate_technique ?engine ~production ~policies technique prepared =
+  let engine = match engine with Some e -> e | None -> Engine.create ~domains:1 () in
+  Engine.phase engine ("sweep/evaluate-" ^ technique_to_string technique) @@ fun () ->
   let points =
-    List.map
+    Engine.map engine
       (fun ((failed : Topology.endpoint), broken, endpoints, ticket, healthy_paths) ->
         let privilege = privilege_for broken technique ~endpoints ~ticket in
         let feasible =
@@ -200,12 +207,12 @@ let evaluate_technique ~production ~policies technique prepared =
   in
   summarise technique points
 
-let sweep ~production ~policies technique =
-  let prepared = sweep_points ~production ~policies in
-  evaluate_technique ~production ~policies technique prepared
+let sweep ?engine ~production ~policies technique =
+  let prepared = sweep_points ?engine ~production ~policies () in
+  evaluate_technique ?engine ~production ~policies technique prepared
 
-let sweep_all ~production ~policies () =
-  let prepared = sweep_points ~production ~policies in
+let sweep_all ?engine ~production ~policies () =
+  let prepared = sweep_points ?engine ~production ~policies () in
   List.map
-    (fun t -> evaluate_technique ~production ~policies t prepared)
+    (fun t -> evaluate_technique ?engine ~production ~policies t prepared)
     [ All_access; Neighbor_access; Heimdall_twin ]

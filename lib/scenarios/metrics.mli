@@ -38,9 +38,17 @@ val failure_candidates : Network.t -> Topology.endpoint list
 (** The interfaces swept: wired, addressed, enabled ports plus SVIs on
     routers and firewalls. *)
 
-val sweep : production:Network.t -> policies:Policy.t list -> technique -> summary
+val sweep :
+  ?engine:Engine.t ->
+  production:Network.t -> policies:Policy.t list -> technique -> summary
+(** One technique over every failure candidate.  With [?engine] the
+    points run across the engine's domain pool and dataplanes/traces are
+    memoized; without one, a private single-domain engine keeps the
+    sequential path fully deterministic.  Verdicts are identical for any
+    domain count. *)
 
 val sweep_all :
+  ?engine:Engine.t ->
   production:Network.t -> policies:Policy.t list -> unit -> summary list
 (** All three techniques over the same failures (shared per-failure
     work); order: All, Neighbor, Heimdall. *)

@@ -1,0 +1,200 @@
+open Heimdall_net
+open Heimdall_control
+
+(* Per-dataplane flow cache, matched by physical identity: dataplanes
+   come out of the digest cache, so equal networks share one value. *)
+type flow_cache = { dp : Dataplane.t; flows : (Flow.t, Trace.result) Hashtbl.t }
+
+type t = {
+  pool : int;
+  lock : Mutex.t;
+  dp_cache : (string, Dataplane.t) Hashtbl.t;  (* digest -> dataplane *)
+  mutable flow_caches : flow_cache list;  (* most recently used first *)
+  traces_run : int Atomic.t;
+  trace_hits : int Atomic.t;
+  dp_built : int Atomic.t;
+  dp_hits : int Atomic.t;
+  mutable domains_used : int;
+  mutable phases : (string * float) list;  (* reverse first-use order *)
+}
+
+(* Keep the healthy dataplane's cache alive through a long sweep of
+   one-shot broken dataplanes. *)
+let max_flow_caches = 32
+
+let default_domains () = min 8 (max 1 (Domain.recommended_domain_count ()))
+
+let create ?domains () =
+  let pool = max 1 (Option.value domains ~default:(default_domains ())) in
+  {
+    pool;
+    lock = Mutex.create ();
+    dp_cache = Hashtbl.create 64;
+    flow_caches = [];
+    traces_run = Atomic.make 0;
+    trace_hits = Atomic.make 0;
+    dp_built = Atomic.make 0;
+    dp_hits = Atomic.make 0;
+    domains_used = 1;
+    phases = [];
+  }
+
+let domains t = t.pool
+let locked t f = Mutex.lock t.lock; Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+(* ------------------------------------------------------------------ *)
+(* Memoized dataplanes                                                 *)
+(* ------------------------------------------------------------------ *)
+
+(* Networks are closure-free structural data (topology + config maps),
+   so a marshalled-bytes digest is a sound structural key. *)
+let digest net = Digest.string (Marshal.to_string (net : Network.t) [])
+
+let dataplane t net =
+  let key = digest net in
+  match locked t (fun () -> Hashtbl.find_opt t.dp_cache key) with
+  | Some dp ->
+      Atomic.incr t.dp_hits;
+      dp
+  | None ->
+      let dp = Dataplane.compute net in
+      Atomic.incr t.dp_built;
+      locked t (fun () ->
+          (* Another domain may have raced us; keep the first value so
+             every caller shares one physical dataplane. *)
+          match Hashtbl.find_opt t.dp_cache key with
+          | Some existing -> existing
+          | None ->
+              Hashtbl.replace t.dp_cache key dp;
+              dp)
+
+let dataplane_of_changes t ~production changes =
+  match Network.apply_changes changes production with
+  | Error _ as e -> e
+  | Ok net -> Ok (dataplane t net)
+
+(* ------------------------------------------------------------------ *)
+(* Memoized traces                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let rec take n = function [] -> [] | x :: tl -> if n <= 0 then [] else x :: take (n - 1) tl
+
+(* Must be called under the lock. *)
+let flows_for t dp =
+  match List.find_opt (fun c -> c.dp == dp) t.flow_caches with
+  | Some c ->
+      t.flow_caches <- c :: List.filter (fun c' -> c' != c) t.flow_caches;
+      c.flows
+  | None ->
+      let c = { dp; flows = Hashtbl.create 256 } in
+      t.flow_caches <- c :: take (max_flow_caches - 1) t.flow_caches;
+      c.flows
+
+let trace t dp flow =
+  match locked t (fun () -> Hashtbl.find_opt (flows_for t dp) flow) with
+  | Some r ->
+      Atomic.incr t.trace_hits;
+      r
+  | None ->
+      let r = Trace.trace dp flow in
+      Atomic.incr t.traces_run;
+      locked t (fun () ->
+          let flows = flows_for t dp in
+          if not (Hashtbl.mem flows flow) then Hashtbl.replace flows flow r);
+      r
+
+(* ------------------------------------------------------------------ *)
+(* Parallel map                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let map t f xs =
+  let arr = Array.of_list xs in
+  let n = Array.length arr in
+  let pool = min t.pool n in
+  if pool <= 1 then List.map f xs
+  else begin
+    locked t (fun () -> t.domains_used <- max t.domains_used pool);
+    let out = Array.make n None in
+    let next = Atomic.make 0 in
+    (* Chunks keep queue contention low while still load-balancing
+       uneven work items. *)
+    let chunk = max 1 (n / (pool * 4)) in
+    let worker () =
+      let continue = ref true in
+      while !continue do
+        let start = Atomic.fetch_and_add next chunk in
+        if start >= n then continue := false
+        else
+          for i = start to min n (start + chunk) - 1 do
+            out.(i) <- Some (f arr.(i))
+          done
+      done
+    in
+    let others = Array.init (pool - 1) (fun _ -> Domain.spawn worker) in
+    (* Join the pool even if our own share raises, then let [join]
+       re-raise any worker failure. *)
+    Fun.protect ~finally:(fun () -> Array.iter Domain.join others) worker;
+    Array.to_list (Array.map Option.get out)
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let phase t name f =
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  let dt = Float.max 0.0 (Unix.gettimeofday () -. t0) in
+  locked t (fun () ->
+      t.phases <-
+        (if List.mem_assoc name t.phases then
+           List.map (fun (n, s) -> if n = name then (n, s +. dt) else (n, s)) t.phases
+         else (name, dt) :: t.phases));
+  v
+
+type stats = {
+  traces_run : int;
+  trace_cache_hits : int;
+  dataplanes_built : int;
+  dataplane_cache_hits : int;
+  domains_used : int;
+  phase_seconds : (string * float) list;
+}
+
+let stats t =
+  locked t (fun () ->
+      {
+        traces_run = Atomic.get t.traces_run;
+        trace_cache_hits = Atomic.get t.trace_hits;
+        dataplanes_built = Atomic.get t.dp_built;
+        dataplane_cache_hits = Atomic.get t.dp_hits;
+        domains_used = t.domains_used;
+        phase_seconds = List.rev t.phases;
+      })
+
+let reset_stats t =
+  locked t (fun () ->
+      Atomic.set t.traces_run 0;
+      Atomic.set t.trace_hits 0;
+      Atomic.set t.dp_built 0;
+      Atomic.set t.dp_hits 0;
+      t.domains_used <- 1;
+      t.phases <- [])
+
+let trace_hit_rate s =
+  let total = s.trace_cache_hits + s.traces_run in
+  if total = 0 then 0.0 else float_of_int s.trace_cache_hits /. float_of_int total
+
+let render_stats s =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf
+    (Printf.sprintf
+       "engine: %d domains | dataplanes built %d (cache hits %d) | traces run %d (cache hits %d, %.1f%% hit rate)\n"
+       s.domains_used s.dataplanes_built s.dataplane_cache_hits s.traces_run
+       s.trace_cache_hits
+       (100.0 *. trace_hit_rate s));
+  List.iter
+    (fun (name, secs) ->
+      Buffer.add_string buf (Printf.sprintf "  phase %-24s %8.3f s\n" name secs))
+    s.phase_seconds;
+  Buffer.contents buf

@@ -54,8 +54,7 @@ let equal a b = a = b
 
 type verdict = Holds | Violated of string
 
-let check dp p =
-  let result = Trace.trace dp p.flow in
+let verdict_of_trace p (result : Trace.result) =
   match p.intent with
   | Reachable -> (
       match result with
@@ -83,15 +82,24 @@ let check dp p =
             Violated
               (Printf.sprintf "%s reaches %s without passing %s" p.src_label p.dst_label via))
 
+let check dp p = verdict_of_trace p (Trace.trace dp p.flow)
+
 type report = { total : int; violations : (t * string) list }
 
-let check_all dp policies =
+let check_all ?engine dp policies =
+  let verdicts =
+    match engine with
+    | None -> List.map (fun p -> (p, check dp p)) policies
+    | Some e ->
+        (* Parallel fan-out; the per-dataplane flow cache means policies
+           sharing a flow trace it once. *)
+        Engine.map e (fun p -> (p, verdict_of_trace p (Engine.trace e dp p.flow))) policies
+  in
   let violations =
     List.filter_map
-      (fun p ->
-        match check dp p with Holds -> None | Violated reason -> Some (p, reason))
-      policies
+      (function _, Holds -> None | p, Violated reason -> Some (p, reason))
+      verdicts
   in
   { total = List.length policies; violations }
 
-let holds_all dp policies = (check_all dp policies).violations = []
+let holds_all ?engine dp policies = (check_all ?engine dp policies).violations = []

@@ -34,10 +34,18 @@ type verdict = Holds | Violated of string
 val check : Dataplane.t -> t -> verdict
 (** Evaluate one policy against a dataplane. *)
 
+val verdict_of_trace : t -> Trace.result -> verdict
+(** Judge a policy against an already-computed trace of its flow (how
+    the {!Engine} avoids re-tracing shared flows). *)
+
 type report = {
   total : int;
   violations : (t * string) list;  (** Violated policies with reasons. *)
 }
 
-val check_all : Dataplane.t -> t list -> report
-val holds_all : Dataplane.t -> t list -> bool
+val check_all : ?engine:Engine.t -> Dataplane.t -> t list -> report
+(** Check every policy.  With [?engine], checks fan out across the
+    engine's domain pool and traces are memoized; verdicts are identical
+    to the sequential path regardless of domain count. *)
+
+val holds_all : ?engine:Engine.t -> Dataplane.t -> t list -> bool

@@ -13,19 +13,26 @@ let addressed_hosts net =
            Option.map (fun a -> (n, a)) (Network.host_address n net)
          else None)
 
-let compute dp =
+let compute ?engine dp =
   let net = Dataplane.network dp in
   let hosts = addressed_hosts net in
-  let reach = Hashtbl.create (List.length hosts * List.length hosts) in
-  List.iter
-    (fun (src, src_addr) ->
-      List.iter
-        (fun (dst, dst_addr) ->
-          if src <> dst then
-            Hashtbl.replace reach (src, dst)
-              (Trace.is_delivered (Trace.trace dp (Flow.icmp src_addr dst_addr))))
-        hosts)
-    hosts;
+  let pairs =
+    List.concat_map
+      (fun (src, src_addr) ->
+        List.filter_map
+          (fun (dst, dst_addr) ->
+            if src <> dst then Some (src, dst, Flow.icmp src_addr dst_addr) else None)
+          hosts)
+      hosts
+  in
+  let delivered =
+    match engine with
+    | None -> List.map (fun (_, _, flow) -> Trace.is_delivered (Trace.trace dp flow)) pairs
+    | Some e ->
+        Engine.map e (fun (_, _, flow) -> Trace.is_delivered (Engine.trace e dp flow)) pairs
+  in
+  let reach = Hashtbl.create (max 16 (List.length pairs)) in
+  List.iter2 (fun (src, dst, _) ok -> Hashtbl.replace reach (src, dst) ok) pairs delivered;
   { hosts; reach }
 
 let reachable ~src ~dst m = Hashtbl.find_opt m.reach (src, dst)
@@ -35,14 +42,20 @@ let reachable_count m = Hashtbl.fold (fun _ ok n -> if ok then n + 1 else n) m.r
 type impact = { gained : (string * string) list; lost : (string * string) list }
 
 let diff ~before ~after =
+  (* Iterate the union of both matrices: a pair present on one side only
+     (host or interface added/removed by the change) still gains or
+     loses connectivity. *)
+  let union = Hashtbl.create (Hashtbl.length before.reach + Hashtbl.length after.reach) in
+  Hashtbl.iter (fun pair _ -> Hashtbl.replace union pair ()) before.reach;
+  Hashtbl.iter (fun pair _ -> Hashtbl.replace union pair ()) after.reach;
   let gained = ref [] and lost = ref [] in
   Hashtbl.iter
-    (fun pair ok_before ->
-      match Hashtbl.find_opt after.reach pair with
-      | Some ok_after when ok_before <> ok_after ->
-          if ok_after then gained := pair :: !gained else lost := pair :: !lost
-      | _ -> ())
-    before.reach;
+    (fun pair () ->
+      let was = Hashtbl.find_opt before.reach pair = Some true in
+      let is = Hashtbl.find_opt after.reach pair = Some true in
+      if is && not was then gained := pair :: !gained
+      else if was && not is then lost := pair :: !lost)
+    union;
   {
     gained = List.sort compare !gained;
     lost = List.sort compare !lost;
@@ -54,10 +67,13 @@ let impact_to_string i =
     let fmt sign (a, b) = Printf.sprintf "%s %s -> %s" sign a b in
     String.concat "\n" (List.map (fmt "+") i.gained @ List.map (fmt "-") i.lost)
 
-let impact_of_changes ~production changes =
+let impact_of_changes ?engine ~production changes =
   match Network.apply_changes changes production with
-  | Error _ as e -> ( match e with Error m -> Error m | Ok _ -> assert false)
+  | Error m -> Error m
   | Ok shadow ->
-      let before = compute (Dataplane.compute production) in
-      let after = compute (Dataplane.compute shadow) in
+      let dataplane net =
+        match engine with Some e -> Engine.dataplane e net | None -> Dataplane.compute net
+      in
+      let before = compute ?engine (dataplane production) in
+      let after = compute ?engine (dataplane shadow) in
       Ok (diff ~before ~after)

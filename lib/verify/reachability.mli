@@ -10,8 +10,10 @@ type matrix
 (** Host-pair ICMP reachability: for every ordered pair of addressed
     hosts, whether a flow is delivered. *)
 
-val compute : Dataplane.t -> matrix
-(** One trace per ordered host pair. *)
+val compute : ?engine:Engine.t -> Dataplane.t -> matrix
+(** One trace per ordered host pair.  With [?engine] the pairs fan out
+    across the engine's domain pool and traces are memoized; the
+    resulting matrix is identical either way. *)
 
 val reachable : src:string -> dst:string -> matrix -> bool option
 (** [None] when either host is unknown/unaddressed. *)
@@ -25,11 +27,14 @@ type impact = {
 }
 
 val diff : before:matrix -> after:matrix -> impact
-(** Pairs present in both matrices whose verdict flipped. *)
+(** Pairs — over the union of both matrices — whose verdict flipped.  A
+    pair present only in [after] (host added by the change) counts as
+    gained when reachable; one present only in [before] as lost. *)
 
 val impact_to_string : impact -> string
 (** ["no reachability change"] or a +/- listing. *)
 
 val impact_of_changes :
+  ?engine:Engine.t ->
   production:Network.t -> Heimdall_config.Change.t list -> (impact, string) result
 (** Convenience: compute both matrices around a change set. *)

@@ -82,6 +82,41 @@ let prop_failure_totality =
           let report = Policy.check_all (Dataplane.compute broken) policies in
           List.for_all (fun (_, reason) -> String.length reason > 0) report.violations)
 
+(* Longest-prefix-match lookup agrees with a naive scan over the trie's
+   own bindings: filter the prefixes containing the address and keep the
+   longest. *)
+let arbitrary_ipv4 =
+  QCheck.map
+    (fun (hi, lo) -> Ipv4.of_int ((hi lsl 16) lor lo))
+    (QCheck.pair (QCheck.int_bound 0xFFFF) (QCheck.int_bound 0xFFFF))
+
+let arbitrary_prefix =
+  QCheck.map
+    (fun (addr, len) -> Prefix.make addr len)
+    (QCheck.pair arbitrary_ipv4 (QCheck.int_bound 32))
+
+let prop_trie_lookup_longest_match =
+  QCheck.Test.make ~count:300 ~name:"trie lookup = naive longest-prefix scan"
+    (QCheck.pair (QCheck.small_list arbitrary_prefix) arbitrary_ipv4)
+    (fun (prefixes, addr) ->
+      let trie = Prefix_trie.of_list (List.mapi (fun i p -> (p, i)) prefixes) in
+      let naive =
+        List.fold_left
+          (fun best (p, v) ->
+            if not (Prefix.contains p addr) then best
+            else
+              match best with
+              | Some (bp, _) when Prefix.length bp >= Prefix.length p -> best
+              | _ -> Some (p, v))
+          None
+          (Prefix_trie.bindings trie)
+      in
+      match (Prefix_trie.lookup addr trie, naive) with
+      | None, None -> true
+      | Some (p1, v1), Some (p2, v2) ->
+          Prefix.length p1 = Prefix.length p2 && v1 = v2 && Prefix.contains p1 addr
+      | Some _, None | None, Some _ -> false)
+
 (* Scheduler equivalence: whatever order the scheduler picks, the final
    network equals applying the whole batch at once. *)
 let benign_changes =
@@ -301,6 +336,7 @@ let suite =
     QCheck_alcotest.to_alcotest prop_trace_endpoints;
     QCheck_alcotest.to_alcotest prop_trace_deterministic;
     QCheck_alcotest.to_alcotest prop_failure_totality;
+    QCheck_alcotest.to_alcotest prop_trie_lookup_longest_match;
     QCheck_alcotest.to_alcotest prop_scheduler_equiv_batch;
     QCheck_alcotest.to_alcotest prop_session_total;
     QCheck_alcotest.to_alcotest prop_monitor_soundness;

@@ -205,6 +205,33 @@ let test_campaign () =
     (Experiments.campaign ~tickets:15 ~malicious_pct:30 ()
     = Experiments.campaign ~tickets:15 ~malicious_pct:30 ())
 
+let test_campaign_no_issues () =
+  let net, policies = Experiments.enterprise () in
+  (* An honest repair with no issues to draw from must raise a clear
+     [Invalid_argument], not [Division_by_zero]. *)
+  (match Campaign.run ~tickets:5 ~malicious_pct:0 net policies [] with
+  | exception Invalid_argument m ->
+      checkb "clear message" true
+        (String.length m > 0 && String.sub m 0 8 = "Campaign")
+  | exception e -> Alcotest.fail ("unexpected exception: " ^ Printexc.to_string e)
+  | _ -> Alcotest.fail "expected Invalid_argument");
+  (* An all-malicious campaign never draws an issue, so an empty issue
+     list is legitimate there. *)
+  let tallies = Campaign.run ~tickets:5 ~malicious_pct:100 net policies [] in
+  checki "both models ran" 2 (List.length tallies)
+
+let test_sweep_engine_deterministic () =
+  let net, policies = Experiments.enterprise () in
+  let seq = Metrics.sweep ~production:net ~policies Metrics.Heimdall_twin in
+  let engine = Heimdall_verify.Engine.create ~domains:4 () in
+  let par = Metrics.sweep ~engine ~production:net ~policies Metrics.Heimdall_twin in
+  checkb "summaries byte-identical" true (seq = par);
+  let stats = Heimdall_verify.Engine.stats engine in
+  checkb "trace cache hit" true (stats.Heimdall_verify.Engine.trace_cache_hits > 0);
+  checkb "dataplanes built once per point" true
+    (stats.Heimdall_verify.Engine.dataplanes_built
+    = 1 + List.length (Metrics.failure_candidates net))
+
 let test_campaign_event_stream () =
   let evs = Campaign.events ~seed:7 ~tickets:50 ~malicious_pct:40 in
   checki "count" 50 (List.length evs);
@@ -238,4 +265,6 @@ let suite =
     Alcotest.test_case "experiments containment" `Slow test_experiments_containment;
     Alcotest.test_case "campaign comparison" `Slow test_campaign;
     Alcotest.test_case "campaign event stream" `Quick test_campaign_event_stream;
+    Alcotest.test_case "campaign with no issues" `Quick test_campaign_no_issues;
+    Alcotest.test_case "sweep engine deterministic" `Slow test_sweep_engine_deterministic;
   ]

@@ -186,6 +186,94 @@ let test_policy_ids_unique () =
   let ids = List.map (fun (p : Policy.t) -> p.id) policies in
   checki "unique ids" (List.length ids) (List.length (List.sort_uniq String.compare ids))
 
+(* ---------------- Reachability ---------------- *)
+
+let test_reach_diff_union () =
+  let net = triangle () in
+  (* [before] lacks h3 entirely (restricted network): every h3 pair is
+     present only in [after] and must still show up as gained. *)
+  let small = Network.restrict [ "r1"; "r2"; "r3"; "sw1"; "h1"; "h2" ] net in
+  let before = Reachability.compute (Dataplane.compute small) in
+  let after = Reachability.compute (Dataplane.compute net) in
+  let impact = Reachability.diff ~before ~after in
+  checkb "gained h1->h3" true (List.mem ("h1", "h3") impact.Reachability.gained);
+  checkb "gained h3->h2" true (List.mem ("h3", "h2") impact.Reachability.gained);
+  checki "nothing lost" 0 (List.length impact.Reachability.lost);
+  (* Symmetric direction: pairs present only in [before] count as lost. *)
+  let impact' = Reachability.diff ~before:after ~after:before in
+  checkb "lost h1->h3" true (List.mem ("h1", "h3") impact'.Reachability.lost);
+  checki "nothing gained" 0 (List.length impact'.Reachability.gained)
+
+let test_reach_impact_of_changes () =
+  let net = triangle () in
+  (* Downing r2's host-facing interface severs h2's subnet. *)
+  let change =
+    Change.v "r2" (Change.Set_interface_enabled { iface = "eth2"; enabled = false })
+  in
+  (match Reachability.impact_of_changes ~production:net [ change ] with
+  | Error m -> Alcotest.fail m
+  | Ok impact ->
+      checkb "h1->h2 lost" true (List.mem ("h1", "h2") impact.Reachability.lost);
+      checki "nothing gained" 0 (List.length impact.Reachability.gained));
+  (* A change against an unknown node surfaces as a clean [Error]. *)
+  match
+    Reachability.impact_of_changes ~production:net
+      [ Change.v "ghost" (Change.Set_interface_enabled { iface = "eth0"; enabled = false }) ]
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected error for unknown node"
+
+(* ---------------- Engine ---------------- *)
+
+let test_engine_caches () =
+  let net = triangle () in
+  let e = Engine.create ~domains:1 () in
+  let dp = Engine.dataplane e net in
+  let flow = Flow.icmp (ip "10.1.0.10") (ip "10.2.0.10") in
+  let r1 = Engine.trace e dp flow in
+  let r2 = Engine.trace e dp flow in
+  checkb "cached trace equal" true (r1 = r2);
+  let dp' = Engine.dataplane e net in
+  checkb "same dataplane value" true (dp == dp');
+  let s = Engine.stats e in
+  checki "traces run" 1 s.Engine.traces_run;
+  checki "trace cache hits" 1 s.Engine.trace_cache_hits;
+  checki "dataplanes built" 1 s.Engine.dataplanes_built;
+  checki "dataplane cache hits" 1 s.Engine.dataplane_cache_hits;
+  checkb "hit rate 0.5" true (abs_float (Engine.trace_hit_rate s -. 0.5) < 1e-9);
+  Engine.reset_stats e;
+  let s = Engine.stats e in
+  checki "reset traces" 0 s.Engine.traces_run;
+  checki "reset hits" 0 s.Engine.trace_cache_hits
+
+let test_engine_map_deterministic () =
+  let e1 = Engine.create ~domains:1 () in
+  let e4 = Engine.create ~domains:4 () in
+  let xs = List.init 100 Fun.id in
+  let f x = (x * x) + 1 in
+  let seq = List.map f xs in
+  checkb "map domains:1" true (Engine.map e1 f xs = seq);
+  checkb "map domains:4" true (Engine.map e4 f xs = seq);
+  checkb "map empty" true (Engine.map e4 f [] = []);
+  checkb "domains recorded" true ((Engine.stats e4).Engine.domains_used > 1)
+
+let test_engine_check_all_matches_sequential () =
+  let net, policies = Heimdall_scenarios.Experiments.enterprise () in
+  let dp = Dataplane.compute net in
+  let seq = Policy.check_all dp policies in
+  let engine = Engine.create ~domains:4 () in
+  let par = Policy.check_all ~engine dp policies in
+  checki "same total" seq.Policy.total par.Policy.total;
+  checkb "same violations" true (seq.Policy.violations = par.Policy.violations);
+  let m_seq = Reachability.compute dp in
+  let m_par = Reachability.compute ~engine dp in
+  checki "same pair count" (Reachability.pair_count m_seq) (Reachability.pair_count m_par);
+  checki "same reachable count" (Reachability.reachable_count m_seq)
+    (Reachability.reachable_count m_par);
+  let d = Reachability.diff ~before:m_seq ~after:m_par in
+  checkb "matrices identical" true (d.Reachability.gained = [] && d.Reachability.lost = []);
+  checkb "engine saw trace work" true ((Engine.stats engine).Engine.traces_run > 0)
+
 (* ---------------- Spec miner ---------------- *)
 
 let test_miner_triangle () =
@@ -285,6 +373,12 @@ let suite =
     Alcotest.test_case "policy waypoint" `Quick test_policy_waypoint;
     Alcotest.test_case "policy check_all" `Quick test_policy_check_all;
     Alcotest.test_case "policy ids unique" `Quick test_policy_ids_unique;
+    Alcotest.test_case "reach diff over union" `Quick test_reach_diff_union;
+    Alcotest.test_case "reach impact of changes" `Quick test_reach_impact_of_changes;
+    Alcotest.test_case "engine caches" `Quick test_engine_caches;
+    Alcotest.test_case "engine map deterministic" `Quick test_engine_map_deterministic;
+    Alcotest.test_case "engine matches sequential" `Quick
+      test_engine_check_all_matches_sequential;
     Alcotest.test_case "miner triangle" `Quick test_miner_triangle;
     Alcotest.test_case "miner detects isolation" `Quick test_miner_detects_isolation;
     Alcotest.test_case "miner skips broken pairs" `Quick test_miner_skips_broken;
