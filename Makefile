@@ -1,7 +1,7 @@
 # CI entry points.  `make check` is what the pipeline runs on every
 # change: a full build plus the tier-1 test suite.
 
-.PHONY: check build test bench clean
+.PHONY: check build test lint bench clean
 
 check: build test
 
@@ -10,6 +10,12 @@ build:
 
 test:
 	dune runtest
+
+# Static analysis over the evaluation networks: any error-severity
+# finding makes the CLI (and therefore this target) exit non-zero.
+lint: build
+	dune exec bin/heimdall_cli.exe -- lint enterprise
+	dune exec bin/heimdall_cli.exe -- lint university --severity error
 
 bench:
 	dune exec bench/main.exe

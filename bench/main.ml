@@ -5,7 +5,7 @@
    Usage:
      dune exec bench/main.exe            # all reports + micro-benchmarks
      dune exec bench/main.exe -- table1  # one artifact
-     dune exec bench/main.exe -- fig7 | fig8 | fig9 | engine
+     dune exec bench/main.exe -- fig7 | fig8 | fig9 | engine | lint
                                  | ablation-verify | ablation-slicer
                                  | ablation-audit | containment | micro *)
 
@@ -83,6 +83,55 @@ let report_engine () =
     (wall1 /. Float.max 1e-9 walln)
     (Engine.render_stats statsn);
   Printf.printf "verdicts identical across domain counts: %b\n\n" (s1 = sn)
+
+let report_lint () =
+  print_string "== Lint: static-analysis wall time (1 domain vs N domains) ==\n";
+  let n = max 2 (Heimdall_verify.Engine.default_domains ()) in
+  let measure name net =
+    let run domains =
+      let engine = Heimdall_verify.Engine.create ~domains () in
+      Heimdall_msp.Timing.elapsed (fun () ->
+          Heimdall_lint.Lint.check_network ~engine net)
+    in
+    let f1, t1 = run 1 in
+    let fn, tn = run n in
+    Printf.printf
+      "  %-10s %d findings; 1 domain: %.4f s; %d domains: %.4f s; identical: %b\n"
+      name (List.length f1) t1 n tn
+      (List.equal Heimdall_lint.Diagnostic.equal f1 fn);
+    (name, List.length f1, t1, tn)
+  in
+  let enterprise = measure "enterprise" (fst (Experiments.enterprise ())) in
+  let university = measure "university" (fst (Experiments.university ())) in
+  let rows = [ enterprise; university ] in
+  (* Persist into the JSON perf report so the trajectory accrues per run. *)
+  let open Heimdall_json in
+  let json =
+    Json.Obj
+      [
+        ("domains", Json.Int n);
+        ( "lint",
+          Json.List
+            (List.map
+               (fun (name, findings, t1, tn) ->
+                 Json.Obj
+                   [
+                     ("network", Json.String name);
+                     ("findings", Json.Int findings);
+                     ("wall_s_1_domain", Json.Float t1);
+                     ("wall_s_n_domains", Json.Float tn);
+                   ])
+               rows) );
+      ]
+  in
+  let path = "bench/report.json" in
+  (try
+     Out_channel.with_open_text path (fun oc ->
+         Out_channel.output_string oc (Json.to_string ~pretty:true json);
+         Out_channel.output_char oc '\n');
+     Printf.printf "  wrote %s\n" path
+   with Sys_error m -> Printf.printf "  could not write %s: %s\n" path m);
+  print_newline ()
 
 let report_ablation_verify () =
   print_string "== Ablation A1: continuous vs batch policy verification ==\n";
@@ -252,6 +301,7 @@ let reports =
     ("fig8", report_fig8);
     ("fig9", report_fig9);
     ("engine", report_engine);
+    ("lint", report_lint);
     ("ablation-verify", report_ablation_verify);
     ("ablation-slicer", report_ablation_slicer);
     ("ablation-audit", report_ablation_audit);

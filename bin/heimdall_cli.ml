@@ -4,6 +4,7 @@
      network    inspect an evaluation network (inventory, validation)
      config     print a device's configuration
      mine       mine the policy set of a network
+     lint       static analysis over configs, ACLs and privilege specs
      trace      trace a flow through a network's dataplane
      ticket     run an issue through the Current and Heimdall workflows
      privilege  print the Privilege_msp generated for an issue's ticket
@@ -21,16 +22,21 @@ open Heimdall_scenarios
 
 (* ---------------- shared arguments ---------------- *)
 
-let network_of_string = function
-  | "enterprise" -> Ok (Experiments.enterprise ())
-  | "university" -> Ok (Experiments.university ())
-  | s -> Error (Printf.sprintf "unknown network %S (try enterprise or university)" s)
+(* The parsed value carries its scenario name (threaded through
+   [Experiments.scenario]), so printing it back can never misreport —
+   no probing the network for well-known node names. *)
+let network_of_string s =
+  match Experiments.scenario_of_name s with
+  | Some sc -> Ok sc
+  | None ->
+      Error
+        (Printf.sprintf "unknown network %S (try %s)" s
+           (String.concat " or " Experiments.scenario_names))
 
 let network_conv =
   let parse s = Result.map_error (fun m -> `Msg m) (network_of_string s) in
-  let print fmt (net, _) =
-    Format.pp_print_string fmt
-      (if List.mem "r1" (Network.node_names net) then "enterprise" else "university")
+  let print fmt (sc : Experiments.scenario) =
+    Format.pp_print_string fmt sc.scenario_name
   in
   Arg.conv (parse, print)
 
@@ -40,25 +46,21 @@ let network_arg =
     & pos 0 (some network_conv) None
     & info [] ~docv:"NETWORK" ~doc:"Evaluation network: enterprise or university.")
 
-let issues_of net =
-  if List.mem "r1" (Network.node_names net) then Enterprise.issues net
-  else University.issues net
-
 let issue_arg n =
   Arg.(
     required
     & pos n (some string) None
     & info [] ~docv:"ISSUE" ~doc:"Issue name: vlan, ospf or isp.")
 
-let find_issue net name =
-  match List.find_opt (fun (i : Heimdall_msp.Issue.t) -> i.name = name) (issues_of net) with
+let find_issue (sc : Experiments.scenario) name =
+  match List.find_opt (fun (i : Heimdall_msp.Issue.t) -> i.name = name) sc.issues with
   | Some i -> Ok i
   | None -> Error (Printf.sprintf "unknown issue %S (try vlan, ospf or isp)" name)
 
 (* ---------------- network ---------------- *)
 
 let network_cmd =
-  let run (net, policies) =
+  let run { Experiments.net; policies; _ } =
     let topo = Network.topology net in
     Printf.printf "nodes: %d (%d routers, %d firewalls, %d switches, %d hosts)\n"
       (Topology.node_count topo)
@@ -84,7 +86,7 @@ let config_cmd =
   let node_arg =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"NODE" ~doc:"Device name.")
   in
-  let run (net, _) node =
+  let run { Experiments.net; _ } node =
     match Network.config node net with
     | Some cfg -> print_string (Heimdall_config.Printer.render cfg)
     | None ->
@@ -98,7 +100,7 @@ let config_cmd =
 (* ---------------- mine ---------------- *)
 
 let mine_cmd =
-  let run (_, policies) =
+  let run { Experiments.policies; _ } =
     List.iter (fun p -> print_endline (Heimdall_verify.Policy.to_string p)) policies;
     Printf.printf "total: %d policies\n" (List.length policies)
   in
@@ -112,7 +114,7 @@ let trace_cmd =
   let addr n docv =
     Arg.(required & pos n (some string) None & info [] ~docv ~doc:"IPv4 address.")
   in
-  let run (net, _) src dst =
+  let run { Experiments.net; _ } src dst =
     match (Ipv4.of_string_opt src, Ipv4.of_string_opt dst) with
     | Some src, Some dst ->
         let dp = Dataplane.compute net in
@@ -130,8 +132,8 @@ let trace_cmd =
 (* ---------------- ticket ---------------- *)
 
 let ticket_cmd =
-  let run (net, policies) issue_name =
-    match find_issue net issue_name with
+  let run ({ Experiments.net; policies; _ } as sc) issue_name =
+    match find_issue sc issue_name with
     | Error m ->
         prerr_endline m;
         exit 1
@@ -156,8 +158,8 @@ let privilege_cmd =
   let json_flag =
     Arg.(value & flag & info [ "json" ] ~doc:"Emit the JSON front-end format.")
   in
-  let run (net, _) issue_name json =
-    match find_issue net issue_name with
+  let run ({ Experiments.net; _ } as sc) issue_name json =
+    match find_issue sc issue_name with
     | Error m ->
         prerr_endline m;
         exit 1
@@ -182,7 +184,7 @@ let privilege_cmd =
 (* ---------------- sweep ---------------- *)
 
 let sweep_cmd =
-  let run (net, policies) =
+  let run { Experiments.net; policies; _ } =
     let summaries = Metrics.sweep_all ~production:net ~policies () in
     print_string
       (Experiments.render_sweep ~title:"bring down each interface; All vs Neighbor vs Heimdall"
@@ -191,6 +193,128 @@ let sweep_cmd =
   Cmd.v
     (Cmd.info "sweep" ~doc:"Feasibility / attack-surface sweep (Figures 8 and 9)")
     Term.(const run $ network_arg)
+
+(* ---------------- lint ---------------- *)
+
+let lint_cmd =
+  let open Heimdall_lint in
+  let json_flag =
+    Arg.(value & flag & info [ "json" ] ~doc:"Emit the findings as a JSON report.")
+  in
+  let severity_arg =
+    let sev_conv =
+      Arg.enum
+        [
+          ("error", Diagnostic.Error);
+          ("warning", Diagnostic.Warning);
+          ("info", Diagnostic.Info);
+        ]
+    in
+    Arg.(
+      value
+      & opt sev_conv Diagnostic.Info
+      & info [ "severity" ] ~docv:"LEVEL"
+          ~doc:"Only report findings at or above $(docv): error, warning or info.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Engine domain pool for the per-device fan-out (default: auto).")
+  in
+  let rules_flag =
+    Arg.(value & flag & info [ "rules" ] ~doc:"List every lint rule code and exit.")
+  in
+  let print_rules () =
+    Printf.printf "%-8s %-10s %-8s %s\n" "CODE" "FAMILY" "SEVERITY" "SUMMARY";
+    List.iter
+      (fun (r : Lint.rule) ->
+        Printf.printf "%-8s %-10s %-8s %s\n" r.code
+          (Lint.family_to_string r.family)
+          (Diagnostic.severity_to_string r.severity)
+          r.summary)
+      Lint.rules
+  in
+  let target_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"NETWORK"
+          ~doc:
+            "Evaluation network (enterprise or university) or a directory in the \
+             loader layout (see the export subcommand).")
+  in
+  (* A scenario name lints the network plus the privilege spec Heimdall
+     would generate for each of its issues; a loader directory lints just
+     the network on disk. *)
+  let resolve_target target =
+    match Experiments.scenario_of_name target with
+    | Some sc -> (sc.scenario_name, sc.net, sc.issues)
+    | None when Sys.file_exists target && Sys.is_directory target -> (
+        match Loader.load_dir target with
+        | Ok net -> (target, net, [])
+        | Error e ->
+            prerr_endline (Loader.error_to_string e);
+            exit 124)
+    | None -> (
+        match network_of_string target with
+        | Error m ->
+            prerr_endline ("heimdall: " ^ m);
+            exit 124
+        | Ok _ -> assert false)
+  in
+  let run target json severity domains rules =
+    match (rules, target) with
+    | true, _ -> print_rules ()
+    | false, None ->
+        prerr_endline "heimdall: required argument NETWORK is missing (or pass --rules)";
+        exit 124
+    | false, Some target -> begin
+      let name, net, issues = resolve_target target in
+      let engine = Heimdall_verify.Engine.create ?domains () in
+      let config_findings = Lint.check_network ~engine net in
+      (* Also lint the privilege spec Heimdall would generate for each of
+         the scenario's issues — the third analyzer family. *)
+      let priv_findings =
+        List.concat_map
+          (fun (issue : Heimdall_msp.Issue.t) ->
+            let broken = issue.inject net in
+            let slice =
+              Heimdall_twin.Twin.slice_nodes ~production:broken
+                ~endpoints:issue.ticket.endpoints ()
+            in
+            let spec = Heimdall_msp.Priv_gen.for_ticket ~network:broken ~slice issue.ticket in
+            Lint.check_privilege ~network:broken ~label:("ticket:" ^ issue.name) spec)
+          issues
+      in
+      let findings =
+        Lint.filter ~min_severity:severity
+          (List.sort Diagnostic.compare (config_findings @ priv_findings))
+      in
+      if json then
+        print_endline
+          (Heimdall_json.Json.to_string ~pretty:true
+             (match Lint.to_json findings with
+             | Heimdall_json.Json.Obj fields ->
+                 Heimdall_json.Json.Obj
+                   (("network", Heimdall_json.Json.String name) :: fields)
+             | j -> j))
+      else begin
+        Printf.printf "lint %s: %d devices, %d privilege specs\n" name
+          (List.length (Network.node_names net))
+          (List.length issues);
+        print_string (Lint.render findings)
+      end;
+      if Lint.has_errors findings then exit 1
+    end
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Statically analyse a network's configs, ACLs and generated privilege specs; \
+          exit non-zero on error-severity findings")
+    Term.(const run $ target_arg $ json_flag $ severity_arg $ domains_arg $ rules_flag)
 
 (* ---------------- experiment ---------------- *)
 
@@ -271,8 +395,8 @@ let shell_cmd =
     Arg.(value & flag & info [ "emergency" ]
            ~doc:"Bypass the twin: commands hit production through the enforcer.")
   in
-  let run (net, policies) issue_name emergency =
-    match find_issue net issue_name with
+  let run ({ Experiments.net; policies; _ } as sc) issue_name emergency =
+    match find_issue sc issue_name with
     | Error m ->
         prerr_endline m;
         exit 1
@@ -348,7 +472,7 @@ let export_cmd =
   let dir_arg =
     Arg.(required & pos 1 (some string) None & info [] ~docv:"DIR" ~doc:"Output directory.")
   in
-  let run (net, _) dir =
+  let run { Experiments.net; _ } dir =
     Loader.save_dir dir net;
     Printf.printf "wrote %s/topology.txt and %d configs\n" dir
       (List.length (Network.node_names net))
@@ -389,6 +513,7 @@ let () =
             network_cmd;
             config_cmd;
             mine_cmd;
+            lint_cmd;
             trace_cmd;
             ticket_cmd;
             privilege_cmd;

@@ -9,6 +9,7 @@
     - {!Control}: control-plane simulation (OSPF/BGP/static) and dataplanes
     - {!Verify}: flow tracing, policies, the spec miner
     - {!Privilege}: the Privilege_msp DSL and evaluator
+    - {!Lint}: static analysis over configs, ACLs and privilege specs
     - {!Twin}: twin-network slicing, emulation, reference monitor
     - {!Enforcer}: verification, scheduling, audit, enclave
     - {!Msp}: tickets, workflows, the RMM baseline, attack scenarios
@@ -57,6 +58,14 @@ module Privilege = struct
   module Spec = Heimdall_privilege.Privilege
   module Dsl = Heimdall_privilege.Dsl
   module Json_frontend = Heimdall_privilege.Json_frontend
+end
+
+module Lint = struct
+  module Diagnostic = Heimdall_lint.Diagnostic
+  module Config_lint = Heimdall_lint.Config_lint
+  module Acl_lint = Heimdall_lint.Acl_lint
+  module Priv_lint = Heimdall_lint.Priv_lint
+  module Check = Heimdall_lint.Lint
 end
 
 module Twin = struct

@@ -8,6 +8,7 @@ type outcome = {
   updated : Heimdall_control.Network.t option;
   fixed_policies : Policy.t list;
   impact : Reachability.impact option;
+  lint_findings : Heimdall_lint.Diagnostic.t list;
   audit : Audit.t;
   report : Enclave.report;
   sealed_head : string;
@@ -15,16 +16,45 @@ type outcome = {
 
 let default_enclave = Enclave.load ~code_identity:"heimdall-policy-enforcer-v1"
 
+(* Static-analysis pre-check: lint the twin as the technician left it and
+   keep only findings that were not already present before the session
+   started.  The delta is advisory — it lands in the audit trail for the
+   MSP customer to review, but does not by itself reject the import
+   (policy verification is the gate). *)
+let lint_delta emulation =
+  let open Heimdall_lint in
+  let baseline =
+    Lint.check_network ~twin_exposed:true (Heimdall_twin.Emulation.baseline emulation)
+  in
+  let current =
+    Lint.check_network ~twin_exposed:true (Heimdall_twin.Emulation.network emulation)
+  in
+  List.filter
+    (fun d -> not (List.exists (Diagnostic.equal d) baseline))
+    current
+
 let process ?(enclave = default_enclave) ~production ~policies ~privilege ~session () =
-  let changes = Heimdall_twin.Emulation.changes (Heimdall_twin.Session.emulation session) in
+  let emulation = Heimdall_twin.Session.emulation session in
+  let changes = Heimdall_twin.Emulation.changes emulation in
   let audit = Audit.of_session_log (Heimdall_twin.Session.log session) in
   let verdict = Verifier.verify ~production ~policies ~privilege ~changes in
+  let lint_findings = lint_delta emulation in
   let audit =
     List.fold_left
       (fun audit (c : Change.t) ->
         Audit.append ~actor:"enforcer" ~action:(Change.op_action_name c.op)
           ~resource:c.node ~detail:(Change.to_string c) ~verdict:"extracted" audit)
       audit changes
+  in
+  let audit =
+    List.fold_left
+      (fun audit (d : Heimdall_lint.Diagnostic.t) ->
+        Audit.append ~actor:"enforcer" ~action:"lint"
+          ~resource:(Option.value d.device ~default:"twin")
+          ~detail:(Heimdall_lint.Diagnostic.to_string d)
+          ~verdict:(Heimdall_lint.Diagnostic.severity_to_string d.severity)
+          audit)
+      audit lint_findings
   in
   let audit =
     List.fold_left
@@ -47,6 +77,7 @@ let process ?(enclave = default_enclave) ~production ~policies ~privilege ~sessi
       updated = None;
       fixed_policies = verdict.fixed_policies;
       impact = None;
+      lint_findings;
       audit;
       report = Enclave.attest enclave ~report_data:head;
       sealed_head = Enclave.seal enclave head;
@@ -67,6 +98,7 @@ let process ?(enclave = default_enclave) ~production ~policies ~privilege ~sessi
           updated = None;
           fixed_policies = verdict.fixed_policies;
           impact = None;
+          lint_findings;
           audit;
           report = Enclave.attest enclave ~report_data:head;
           sealed_head = Enclave.seal enclave head;
@@ -108,6 +140,7 @@ let process ?(enclave = default_enclave) ~production ~policies ~privilege ~sessi
           updated = Some updated;
           fixed_policies = verdict.fixed_policies;
           impact = Some impact;
+          lint_findings;
           audit;
           report = Enclave.attest enclave ~report_data:head;
           sealed_head = Enclave.seal enclave head;
@@ -125,6 +158,16 @@ let outcome_to_string o =
   (match o.impact with
   | Some i -> Buffer.add_string buf ("impact: " ^ Reachability.impact_to_string i ^ "\n")
   | None -> ());
+  if o.lint_findings <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "lint: %d new finding%s\n"
+         (List.length o.lint_findings)
+         (if List.length o.lint_findings = 1 then "" else "s"));
+    List.iter
+      (fun d ->
+        Buffer.add_string buf ("  " ^ Heimdall_lint.Diagnostic.to_string d ^ "\n"))
+      o.lint_findings
+  end;
   Buffer.add_string buf
     (Printf.sprintf "audit: %d records, head %s...\n" (Audit.length o.audit)
        (String.sub (Audit.head o.audit) 0 12));

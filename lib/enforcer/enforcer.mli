@@ -18,6 +18,10 @@ type outcome = {
   fixed_policies : Policy.t list;
   impact : Reachability.impact option;
       (** Host-pair reachability delta of the import, iff approved. *)
+  lint_findings : Heimdall_lint.Diagnostic.t list;
+      (** Static-analysis findings introduced during the session (twin
+          lint delta vs the session baseline).  Advisory: recorded in the
+          audit trail, never a rejection by itself. *)
   audit : Audit.t;  (** Session log + enforcer decisions, hash-chained. *)
   report : Enclave.report;  (** Attestation over the audit head. *)
   sealed_head : string;  (** Audit head sealed to the enforcer enclave. *)

@@ -1,0 +1,55 @@
+open Heimdall_net
+
+(* First-match-wins shadowing, refined by action: an earlier subsuming
+   rule with the opposite action is an intent conflict (the later rule
+   reads like an exception that never applies); with the same action the
+   later rule is merely dead weight. *)
+let shadowing ~device (acl : Acl.t) =
+  let rec go earlier = function
+    | [] -> []
+    | (r : Acl.rule) :: rest ->
+        let found =
+          match List.find_opt (fun (e : Acl.rule) -> Acl.rule_subsumes e r) earlier with
+          | None -> []
+          | Some e when e.action <> r.action ->
+              [
+                Diagnostic.v ~device ~obj:acl.name ~line:r.seq ~code:"ACL001"
+                  Diagnostic.Error
+                  (Printf.sprintf
+                     "rule %d (%s) is shadowed by rule %d (%s) with the opposite action"
+                     r.seq (Acl.rule_to_string r) e.seq (Acl.rule_to_string e));
+              ]
+          | Some e ->
+              [
+                Diagnostic.v ~device ~obj:acl.name ~line:r.seq ~code:"ACL002"
+                  Diagnostic.Warning
+                  (Printf.sprintf "rule %d (%s) is redundant: rule %d already %ss it"
+                     r.seq (Acl.rule_to_string r) e.seq
+                     (Acl.action_to_string e.action));
+              ]
+        in
+        found @ go (r :: earlier) rest
+  in
+  go [] acl.rules
+
+let is_match_all (r : Acl.rule) =
+  r.proto = Acl.Any_proto
+  && Prefix.equal r.src Prefix.any
+  && Prefix.equal r.dst Prefix.any
+  && r.src_port = Acl.Any_port
+  && r.dst_port = Acl.Any_port
+
+let terminal_permit_any ~device (acl : Acl.t) =
+  match List.rev acl.rules with
+  | (r : Acl.rule) :: _ when r.action = Acl.Permit && is_match_all r ->
+      [
+        Diagnostic.v ~device ~obj:acl.name ~line:r.seq ~code:"ACL003" Diagnostic.Warning
+          (Printf.sprintf
+             "terminal rule %d is 'permit ip any any': the list default-permits instead \
+              of default-denying"
+             r.seq);
+      ]
+  | _ -> []
+
+let check ~device acl =
+  List.sort Diagnostic.compare (shadowing ~device acl @ terminal_permit_any ~device acl)

@@ -1,0 +1,17 @@
+(** ACL analyzers over {!Heimdall_net.Acl}.
+
+    Rule codes:
+    - [ACL001] (error): a rule is shadowed by an earlier rule with the
+      {e opposite} action — the later rule can never fire, and the two
+      rules disagree about what should happen to its traffic.
+    - [ACL002] (warning): a rule is fully redundant — subsumed by an
+      earlier rule with the {e same} action.
+    - [ACL003] (warning): the ACL ends in a terminal [permit ip any any],
+      which turns the implicit default-deny into default-permit. *)
+
+open Heimdall_net
+
+val check : device:string -> Acl.t -> Diagnostic.t list
+(** All ACL findings for one access list, canonically ordered.  The
+    [device] is recorded as the diagnostic location; the object is the
+    ACL name and the line is the rule's sequence number. *)

@@ -1,0 +1,231 @@
+open Heimdall_net
+open Heimdall_config
+open Heimdall_control
+
+(* ---------------- per-device checks ---------------- *)
+
+(* CFG003 / CFG004: ACL references vs definitions. *)
+let acl_bindings (cfg : Ast.t) =
+  List.concat_map
+    (fun (i : Ast.interface) ->
+      (match i.acl_in with Some a -> [ (i, `In, a) ] | None -> [])
+      @ match i.acl_out with Some a -> [ (i, `Out, a) ] | None -> [])
+    cfg.interfaces
+
+let undefined_acl_refs ~device (cfg : Ast.t) =
+  List.filter_map
+    (fun ((i : Ast.interface), dir, name) ->
+      if Ast.find_acl name cfg <> None then None
+      else
+        Some
+          (Diagnostic.v ~device ~obj:i.if_name ~code:"CFG003" Diagnostic.Error
+             (Printf.sprintf "interface %s references undefined access-list %s (%s)"
+                i.if_name name
+                (match dir with `In -> "in" | `Out -> "out"))))
+    (acl_bindings cfg)
+
+let unbound_acls ~device (cfg : Ast.t) =
+  let bound = List.map (fun (_, _, a) -> a) (acl_bindings cfg) in
+  List.filter_map
+    (fun (a : Acl.t) ->
+      if List.mem a.name bound then None
+      else
+        Some
+          (Diagnostic.v ~device ~obj:a.name ~code:"CFG004" Diagnostic.Warning
+             (Printf.sprintf "access-list %s is defined but bound to no interface" a.name)))
+    cfg.acls
+
+(* CFG005: switchports on undeclared VLANs. *)
+let undeclared_vlans ~device (cfg : Ast.t) =
+  let declared v = List.mem_assoc v cfg.vlans in
+  List.concat_map
+    (fun (i : Ast.interface) ->
+      let bad mode v =
+        if declared v then []
+        else
+          [
+            Diagnostic.v ~device ~obj:i.if_name ~code:"CFG005" Diagnostic.Error
+              (Printf.sprintf "interface %s is %s port on undeclared vlan %d" i.if_name
+                 mode v);
+          ]
+      in
+      match i.switchport with
+      | Some (Ast.Access v) -> bad "an access" v
+      | Some (Ast.Trunk vs) -> List.concat_map (bad "a trunk") vs
+      | None -> [])
+    cfg.interfaces
+
+(* CFG006: static-route next hops (and host default gateways) must land
+   on an enabled connected subnet of the device, or they blackhole. *)
+let connected_subnets (cfg : Ast.t) =
+  List.filter_map
+    (fun (i : Ast.interface) ->
+      match i.addr with Some a when i.enabled -> Some (Ifaddr.subnet a) | _ -> None)
+    cfg.interfaces
+
+let off_subnet_next_hops ~device (cfg : Ast.t) =
+  let subnets = connected_subnets cfg in
+  let reachable nh = List.exists (fun s -> Prefix.contains s nh) subnets in
+  let routes =
+    List.filter_map
+      (fun (r : Ast.static_route) ->
+        if reachable r.sr_next_hop then None
+        else
+          Some
+            (Diagnostic.v ~device
+               ~obj:(Prefix.to_string r.sr_prefix)
+               ~code:"CFG006" Diagnostic.Error
+               (Printf.sprintf
+                  "static route %s via %s: next hop is on no enabled connected subnet"
+                  (Prefix.to_string r.sr_prefix)
+                  (Ipv4.to_string r.sr_next_hop))))
+      cfg.static_routes
+  in
+  let gateway =
+    match cfg.default_gateway with
+    | Some gw when not (reachable gw) ->
+        [
+          Diagnostic.v ~device ~obj:"default-gateway" ~code:"CFG006" Diagnostic.Error
+            (Printf.sprintf "default gateway %s is on no enabled connected subnet"
+               (Ipv4.to_string gw));
+        ]
+    | _ -> []
+  in
+  routes @ gateway
+
+(* CFG008: ACLs bound to shutdown interfaces filter nothing. *)
+let acl_on_shutdown ~device (cfg : Ast.t) =
+  List.filter_map
+    (fun ((i : Ast.interface), dir, name) ->
+      if i.enabled then None
+      else
+        Some
+          (Diagnostic.v ~device ~obj:i.if_name ~code:"CFG008" Diagnostic.Warning
+             (Printf.sprintf
+                "access-list %s is bound (%s) to shutdown interface %s and filters \
+                 nothing"
+                name
+                (match dir with `In -> "in" | `Out -> "out")
+                i.if_name)))
+    (acl_bindings cfg)
+
+let check_device net device =
+  match Network.config device net with
+  | None -> []
+  | Some cfg ->
+      let own = [ undefined_acl_refs; unbound_acls; undeclared_vlans;
+                  off_subnet_next_hops; acl_on_shutdown ]
+      in
+      let acls = List.concat_map (Acl_lint.check ~device) cfg.acls in
+      List.sort Diagnostic.compare
+        (List.concat_map (fun check -> check ~device cfg) own @ acls)
+
+(* ---------------- cross-device checks ---------------- *)
+
+(* CFG002: both endpoints of a cable must share a subnet. *)
+let link_subnet_mismatch net (l : Topology.link) =
+  let addr_of (e : Topology.endpoint) =
+    Option.bind (Network.config e.node net) (fun c -> Ast.interface_addr c e.iface)
+  in
+  match (addr_of l.a, addr_of l.b) with
+  | Some a, Some b when not (Ifaddr.same_subnet a b) ->
+      [
+        Diagnostic.v ~device:l.a.node ~obj:l.a.iface ~code:"CFG002" Diagnostic.Error
+          (Printf.sprintf "link %s <-> %s joins different subnets (%s vs %s)"
+             (Topology.endpoint_to_string l.a)
+             (Topology.endpoint_to_string l.b)
+             (Ifaddr.to_string a) (Ifaddr.to_string b));
+      ]
+  | _ -> []
+
+(* CFG007: effective OSPF area of an endpoint, mirroring
+   Ospf.enabled_interfaces — a network statement must cover the address,
+   and an explicit per-interface area overrides the statement's. *)
+let effective_area net (e : Topology.endpoint) =
+  match Network.config e.node net with
+  | None -> None
+  | Some cfg -> (
+      match cfg.ospf with
+      | None -> None
+      | Some o -> (
+          match Ast.find_interface e.iface cfg with
+          | Some i when i.enabled -> (
+              match i.addr with
+              | None -> None
+              | Some addr -> (
+                  match
+                    List.find_opt
+                      (fun (p, _) -> Prefix.contains p (Ifaddr.address addr))
+                      o.networks
+                  with
+                  | None -> None
+                  | Some (_, stmt_area) -> Some (Option.value i.ospf_area ~default:stmt_area)))
+          | _ -> None))
+
+let ospf_area_mismatch net (l : Topology.link) =
+  match (effective_area net l.a, effective_area net l.b) with
+  | Some a, Some b when a <> b ->
+      [
+        Diagnostic.v ~device:l.a.node ~obj:l.a.iface ~code:"CFG007" Diagnostic.Error
+          (Printf.sprintf "OSPF area mismatch across %s <-> %s (area %d vs area %d)"
+             (Topology.endpoint_to_string l.a)
+             (Topology.endpoint_to_string l.b)
+             a b);
+      ]
+  | _ -> []
+
+let check_links net =
+  let links = Topology.links (Network.topology net) in
+  List.sort Diagnostic.compare
+    (List.concat_map
+       (fun l -> link_subnet_mismatch net l @ ospf_area_mismatch net l)
+       links)
+
+(* CFG001: one address, one enabled owner. *)
+let duplicate_addresses net =
+  let owners = Hashtbl.create 64 in
+  List.iter
+    (fun (node, (cfg : Ast.t)) ->
+      List.iter
+        (fun (i : Ast.interface) ->
+          match i.addr with
+          | Some a when i.enabled ->
+              let key = Ipv4.to_string (Ifaddr.address a) in
+              Hashtbl.replace owners key
+                ((node, i.if_name) :: Option.value (Hashtbl.find_opt owners key) ~default:[])
+          | _ -> ())
+        cfg.interfaces)
+    (Network.configs net);
+  Hashtbl.fold
+    (fun addr who acc ->
+      match who with
+      | [] | [ _ ] -> acc
+      | _ ->
+          let who = List.sort compare who in
+          let first = fst (List.hd who) in
+          Diagnostic.v ~device:first ~obj:addr ~code:"CFG001" Diagnostic.Error
+            (Printf.sprintf "address %s is configured on %d interfaces: %s" addr
+               (List.length who)
+               (String.concat ", "
+                  (List.map (fun (n, i) -> Printf.sprintf "%s/%s" n i) who)))
+          :: acc)
+    owners []
+  |> List.sort Diagnostic.compare
+
+(* SEC001: nothing secret may cross the twin boundary. *)
+let twin_exposure net =
+  List.filter_map
+    (fun (node, (cfg : Ast.t)) ->
+      let exposed =
+        List.filter (fun s -> Ast.secret_value s <> Redact.placeholder) cfg.secrets
+      in
+      if exposed = [] then None
+      else
+        Some
+          (Diagnostic.v ~device:node ~code:"SEC001" Diagnostic.Error
+             (Printf.sprintf "twin-exposed config carries %d unscrubbed secret(s): %s"
+                (List.length exposed)
+                (String.concat ", "
+                   (List.sort_uniq String.compare (List.map Ast.secret_kind exposed))))))
+    (Network.configs net)
+  |> List.sort Diagnostic.compare

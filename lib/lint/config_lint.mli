@@ -1,0 +1,43 @@
+(** Configuration analyzers over {!Heimdall_config.Ast} and
+    {!Heimdall_control.Network}: whole-network static checks that need no
+    dataplane — the Batfish-style lint layer under the simulation-based
+    policy verifier.
+
+    Rule codes:
+    - [CFG001] (error): the same interface address is configured on more
+      than one enabled interface in the network.
+    - [CFG002] (error): the two endpoints of a link carry addresses in
+      different subnets.
+    - [CFG003] (error): an interface references an access-list the device
+      does not define.
+    - [CFG004] (warning): an access-list is defined but bound to no
+      interface on the device.
+    - [CFG005] (error): an access or trunk port uses a VLAN the device
+      does not declare.
+    - [CFG006] (error): a static route's next hop (or a host's default
+      gateway) is on no enabled connected subnet of the device.
+    - [CFG007] (error): the two ends of a link run OSPF in different
+      areas, so the adjacency can never form.
+    - [CFG008] (warning): an access-list is bound to a shutdown
+      interface — it filters nothing until someone re-enables the port.
+    - [SEC001] (error): a config that is about to be exposed through the
+      twin still carries unscrubbed secrets (see
+      {!Heimdall_config.Redact}). *)
+
+open Heimdall_control
+
+val check_device : Network.t -> string -> Diagnostic.t list
+(** Per-device checks (CFG003, CFG004, CFG005, CFG006, CFG008) plus the
+    {!Acl_lint} checks for every ACL the device defines.  Safe to fan out
+    across engine domains — one call per device, no shared state. *)
+
+val check_links : Network.t -> Diagnostic.t list
+(** Cross-device link checks: CFG002 and CFG007. *)
+
+val duplicate_addresses : Network.t -> Diagnostic.t list
+(** CFG001, one diagnostic per duplicated address listing every owner. *)
+
+val twin_exposure : Network.t -> Diagnostic.t list
+(** SEC001 over every config in the network.  Only meaningful for a
+    network that is (about to be) technician-visible; production configs
+    legitimately hold secrets. *)

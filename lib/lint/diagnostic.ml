@@ -1,0 +1,87 @@
+type severity = Error | Warning | Info
+
+let severity_to_string = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let severity_of_string = function
+  | "error" -> Some Error
+  | "warning" -> Some Warning
+  | "info" -> Some Info
+  | _ -> None
+
+let severity_rank = function Error -> 2 | Warning -> 1 | Info -> 0
+
+type t = {
+  code : string;
+  severity : severity;
+  device : string option;
+  obj : string option;
+  line : int option;
+  message : string;
+}
+
+let v ?device ?obj ?line ~code severity message =
+  { code; severity; device; obj; line; message }
+
+let compare_opt cmp a b =
+  match (a, b) with
+  | None, None -> 0
+  | None, Some _ -> -1
+  | Some _, None -> 1
+  | Some x, Some y -> cmp x y
+
+let compare a b =
+  match compare_opt String.compare a.device b.device with
+  | 0 -> (
+      match String.compare a.code b.code with
+      | 0 -> (
+          match compare_opt String.compare a.obj b.obj with
+          | 0 -> (
+              match compare_opt Int.compare a.line b.line with
+              | 0 -> String.compare a.message b.message
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let equal a b = compare a b = 0
+
+let location_to_string t =
+  match (t.device, t.obj, t.line) with
+  | None, None, None -> ""
+  | Some d, None, None -> d ^ ": "
+  | Some d, Some o, None -> Printf.sprintf "%s/%s: " d o
+  | Some d, Some o, Some l -> Printf.sprintf "%s/%s:%d: " d o l
+  | Some d, None, Some l -> Printf.sprintf "%s:%d: " d l
+  | None, Some o, Some l -> Printf.sprintf "%s:%d: " o l
+  | None, Some o, None -> o ^ ": "
+  | None, None, Some l -> Printf.sprintf "line %d: " l
+
+let to_string t =
+  Printf.sprintf "%-7s %s %s%s"
+    (severity_to_string t.severity)
+    t.code (location_to_string t) t.message
+
+open Heimdall_json
+
+let to_json t =
+  let opt name f v = Option.to_list (Option.map (fun x -> (name, f x)) v) in
+  Json.Obj
+    ([
+       ("code", Json.String t.code);
+       ("severity", Json.String (severity_to_string t.severity));
+     ]
+    @ opt "device" (fun d -> Json.String d) t.device
+    @ opt "object" (fun o -> Json.String o) t.obj
+    @ opt "line" (fun l -> Json.Int l) t.line
+    @ [ ("message", Json.String t.message) ])
+
+let of_json j =
+  let ( let* ) = Option.bind in
+  let* code = Option.bind (Json.member "code" j) Json.to_string_opt in
+  let* sev = Option.bind (Json.member "severity" j) Json.to_string_opt in
+  let* severity = severity_of_string sev in
+  let* message = Option.bind (Json.member "message" j) Json.to_string_opt in
+  let device = Option.bind (Json.member "device" j) Json.to_string_opt in
+  let obj = Option.bind (Json.member "object" j) Json.to_string_opt in
+  let line = Option.bind (Json.member "line" j) Json.to_int_opt in
+  Some { code; severity; device; obj; line; message }

@@ -1,0 +1,44 @@
+(** Lint diagnostics: the finding type every analyzer family produces.
+
+    A diagnostic carries a stable rule code (["CFG003"]), a severity, a
+    location (device, object within the device, line within the object
+    when known) and a human-readable message.  Diagnostics order
+    canonically ({!compare}), so a lint report is byte-identical
+    regardless of how many engine domains produced it. *)
+
+type severity = Error | Warning | Info
+
+val severity_to_string : severity -> string
+(** ["error"], ["warning"], ["info"]. *)
+
+val severity_of_string : string -> severity option
+
+val severity_rank : severity -> int
+(** [Error] = 2, [Warning] = 1, [Info] = 0 — higher is more severe. *)
+
+type t = {
+  code : string;  (** Stable rule code, e.g. ["ACL001"]. *)
+  severity : severity;
+  device : string option;  (** Device the finding is on, when device-scoped. *)
+  obj : string option;  (** Object within the device: interface, ACL, statement. *)
+  line : int option;  (** Line / sequence / statement index, when known. *)
+  message : string;
+}
+
+val v :
+  ?device:string -> ?obj:string -> ?line:int -> code:string -> severity -> string -> t
+
+val compare : t -> t -> int
+(** Canonical order: device, code, object, line, message.  Sorting with
+    this makes reports deterministic across engine domain counts. *)
+
+val equal : t -> t -> bool
+
+val to_string : t -> string
+(** One line: ["error  CFG003 r4/eth1: ..."]. *)
+
+val to_json : t -> Heimdall_json.Json.t
+(** Object with [code], [severity], [message] and the location fields
+    that are present ([device], [object], [line]). *)
+
+val of_json : Heimdall_json.Json.t -> t option

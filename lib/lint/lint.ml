@@ -1,0 +1,127 @@
+open Heimdall_control
+open Heimdall_verify
+
+(* ---------------- rule registry ---------------- *)
+
+type family = Config | Acl | Privilege
+
+let family_to_string = function
+  | Config -> "config"
+  | Acl -> "acl"
+  | Privilege -> "privilege"
+
+type rule = {
+  code : string;
+  family : family;
+  severity : Diagnostic.severity;
+  summary : string;
+}
+
+let rules =
+  [
+    { code = "CFG001"; family = Config; severity = Diagnostic.Error;
+      summary = "duplicate interface address across the network" };
+    { code = "CFG002"; family = Config; severity = Diagnostic.Error;
+      summary = "link endpoints in different subnets" };
+    { code = "CFG003"; family = Config; severity = Diagnostic.Error;
+      summary = "interface references an undefined access-list" };
+    { code = "CFG004"; family = Config; severity = Diagnostic.Warning;
+      summary = "access-list defined but bound to no interface" };
+    { code = "CFG005"; family = Config; severity = Diagnostic.Error;
+      summary = "access/trunk port on an undeclared VLAN" };
+    { code = "CFG006"; family = Config; severity = Diagnostic.Error;
+      summary = "static-route next hop / default gateway on no enabled connected subnet" };
+    { code = "CFG007"; family = Config; severity = Diagnostic.Error;
+      summary = "OSPF area mismatch across a link" };
+    { code = "CFG008"; family = Config; severity = Diagnostic.Warning;
+      summary = "access-list bound to a shutdown interface" };
+    { code = "SEC001"; family = Config; severity = Diagnostic.Error;
+      summary = "unscrubbed secret in a twin-exposed config" };
+    { code = "ACL001"; family = Acl; severity = Diagnostic.Error;
+      summary = "rule shadowed by an earlier rule with the opposite action" };
+    { code = "ACL002"; family = Acl; severity = Diagnostic.Warning;
+      summary = "rule fully redundant with an earlier same-action rule" };
+    { code = "ACL003"; family = Acl; severity = Diagnostic.Warning;
+      summary = "terminal 'permit ip any any' turns default-deny into default-permit" };
+    { code = "PRV001"; family = Privilege; severity = Diagnostic.Error;
+      summary = "statement unreachable under first-match-wins" };
+    { code = "PRV002"; family = Privilege; severity = Diagnostic.Warning;
+      summary = "grant on a resource naming no device/interface in the network" };
+    { code = "PRV003"; family = Privilege; severity = Diagnostic.Warning;
+      summary = "over-broad grant (allow everything on every device)" };
+  ]
+
+let rule code = List.find_opt (fun r -> r.code = code) rules
+
+(* ---------------- entry points ---------------- *)
+
+let check_network ?engine ?(twin_exposed = false) net =
+  let nodes = Network.node_names net in
+  let per_device =
+    match engine with
+    | None -> List.map (Config_lint.check_device net) nodes
+    | Some e ->
+        Engine.phase e "lint/devices" (fun () ->
+            Engine.map e (Config_lint.check_device net) nodes)
+  in
+  let cross =
+    Config_lint.check_links net
+    @ Config_lint.duplicate_addresses net
+    @ if twin_exposed then Config_lint.twin_exposure net else []
+  in
+  List.sort Diagnostic.compare (List.concat per_device @ cross)
+
+let check_privilege ?network ?label spec =
+  Priv_lint.check ?network spec
+  |> List.map (fun (d : Diagnostic.t) ->
+         match label with Some _ -> { d with Diagnostic.device = label } | None -> d)
+  |> List.sort Diagnostic.compare
+
+let check_acl = Acl_lint.check
+
+(* ---------------- filtering and rendering ---------------- *)
+
+let filter ~min_severity diags =
+  List.filter
+    (fun (d : Diagnostic.t) ->
+      Diagnostic.severity_rank d.severity >= Diagnostic.severity_rank min_severity)
+    diags
+
+let count severity diags =
+  List.length (List.filter (fun (d : Diagnostic.t) -> d.severity = severity) diags)
+
+let has_errors diags = count Diagnostic.Error diags > 0
+
+let summary diags =
+  match diags with
+  | [] -> "clean"
+  | _ ->
+      let part n what = if n = 0 then [] else [ Printf.sprintf "%d %s%s" n what (if n = 1 then "" else "s") ] in
+      Printf.sprintf "%d finding%s (%s)" (List.length diags)
+        (if List.length diags = 1 then "" else "s")
+        (String.concat ", "
+           (part (count Diagnostic.Error diags) "error"
+           @ part (count Diagnostic.Warning diags) "warning"
+           @ part (count Diagnostic.Info diags) "info"))
+
+let render diags =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun d ->
+      Buffer.add_string buf (Diagnostic.to_string d);
+      Buffer.add_char buf '\n')
+    diags;
+  Buffer.add_string buf (summary diags);
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+open Heimdall_json
+
+let to_json diags =
+  Json.Obj
+    [
+      ("findings", Json.List (List.map Diagnostic.to_json diags));
+      ("errors", Json.Int (count Diagnostic.Error diags));
+      ("warnings", Json.Int (count Diagnostic.Warning diags));
+      ("info", Json.Int (count Diagnostic.Info diags));
+    ]

@@ -60,6 +60,18 @@ val find_rule : int -> t -> rule option
 
 val rule_count : t -> int
 
+val proto_subsumes : proto_match -> proto_match -> bool
+(** [proto_subsumes outer inner]: every protocol matched by [inner] is
+    matched by [outer]. *)
+
+val port_subsumes : port_match -> port_match -> bool
+(** [port_subsumes outer inner]: every port matched by [inner] is matched
+    by [outer]. *)
+
+val rule_subsumes : rule -> rule -> bool
+(** [rule_subsumes outer inner]: every flow matched by [inner] is matched
+    by [outer] (actions are not compared). *)
+
 val shadowed_rules : t -> rule list
 (** Rules that can never fire because an earlier rule matches a superset of
     their traffic.  Useful lint for technician-made edits. *)

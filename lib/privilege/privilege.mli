@@ -64,5 +64,6 @@ val allowed_actions : t -> node:string -> kind:Heimdall_net.Topology.node_kind -
     commands" [C_n]. *)
 
 val predicate_count : t -> int
+val predicate_to_string : predicate -> string
 val to_string : t -> string
 val pp : Format.formatter -> t -> unit

@@ -23,6 +23,24 @@ let university =
       let net = University.build () in
       (net, University.policies net))
 
+type scenario = {
+  scenario_name : string;
+  net : Network.t;
+  policies : Heimdall_verify.Policy.t list;
+  issues : Issue.t list;
+}
+
+let scenario_names = [ "enterprise"; "university" ]
+
+let scenario_of_name = function
+  | "enterprise" ->
+      let net, policies = enterprise () in
+      Some { scenario_name = "enterprise"; net; policies; issues = Enterprise.issues net }
+  | "university" ->
+      let net, policies = university () in
+      Some { scenario_name = "university"; net; policies; issues = University.issues net }
+  | _ -> None
+
 (* --------------------------------------------------------------- *)
 (* Table 1                                                          *)
 (* --------------------------------------------------------------- *)

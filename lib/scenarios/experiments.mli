@@ -114,3 +114,22 @@ val enterprise : unit -> Network.t * Heimdall_verify.Policy.t list
 (** Cached healthy enterprise network + policies. *)
 
 val university : unit -> Network.t * Heimdall_verify.Policy.t list
+
+(** {2 Named scenarios}
+
+    The evaluation networks, keyed by name.  Carrying the name alongside
+    the network means downstream consumers (the CLI in particular) never
+    have to guess which scenario a [Network.t] came from by probing for
+    well-known node names. *)
+
+type scenario = {
+  scenario_name : string;  (** ["enterprise"] or ["university"]. *)
+  net : Network.t;
+  policies : Heimdall_verify.Policy.t list;
+  issues : Heimdall_msp.Issue.t list;
+}
+
+val scenario_names : string list
+
+val scenario_of_name : string -> scenario option
+(** Cached, like {!enterprise}/{!university}. *)

@@ -354,6 +354,43 @@ let test_enforcer_rejects_malicious_session () =
        (fun (r : Audit.record) -> r.Audit.verdict = "rejected")
        (Audit.records outcome.Enforcer.audit))
 
+let test_enforcer_lint_delta_in_audit () =
+  let net, policies = fixture () in
+  let em = Heimdall_twin.Twin.build ~production:net ~endpoints:[ "h1"; "h8" ] () in
+  let session = Heimdall_twin.Twin.open_session ~privilege:Privilege.allow_all em in
+  (* Append a rule after SRV_PROT's terminal permit-any-any: shadowed
+     with the opposite action, the textbook ACL001 defect. *)
+  ignore
+    (Heimdall_twin.Session.exec_many session
+       [ "connect r8"; "configure access-list SRV_PROT 30 deny ip 10.9.9.0/24 0.0.0.0/0" ]);
+  let outcome = Enforcer.process ~production:net ~policies ~privilege:Privilege.allow_all ~session () in
+  (match outcome.Enforcer.lint_findings with
+  | [ d ] ->
+      checks "code" "ACL001" d.Heimdall_lint.Diagnostic.code;
+      checkb "device" true (d.Heimdall_lint.Diagnostic.device = Some "r8");
+      checkb "line" true (d.Heimdall_lint.Diagnostic.line = Some 30)
+  | l -> Alcotest.failf "expected one lint finding, got %d" (List.length l));
+  checkb "lint recorded in audit" true
+    (List.exists
+       (fun (r : Audit.record) -> r.Audit.action = "lint" && r.Audit.resource = "r8")
+       (Audit.records outcome.Enforcer.audit));
+  checkb "audit still verifies" true (Audit.verify outcome.Enforcer.audit = Ok ())
+
+let test_enforcer_clean_session_no_lint_delta () =
+  let net, policies = fixture () in
+  let em = Heimdall_twin.Twin.build ~production:net ~endpoints:[ "h1"; "h2" ] () in
+  let session = Heimdall_twin.Twin.open_session ~privilege:Privilege.allow_all em in
+  ignore (Heimdall_twin.Session.exec_many session [ "connect r4"; "show vlan" ]);
+  let outcome =
+    Enforcer.process ~production:net ~policies ~privilege:Privilege.allow_all ~session ()
+  in
+  checki "no new findings" 0 (List.length outcome.Enforcer.lint_findings);
+  checkb "no lint records" true
+    (not
+       (List.exists
+          (fun (r : Audit.record) -> r.Audit.action = "lint")
+          (Audit.records outcome.Enforcer.audit)))
+
 let test_enforcer_noop_session () =
   let net, policies = fixture () in
   let em = Heimdall_twin.Twin.build ~production:net ~endpoints:[ "h1"; "h2" ] () in
@@ -396,4 +433,8 @@ let suite =
     Alcotest.test_case "enforcer rejects malicious session" `Quick
       test_enforcer_rejects_malicious_session;
     Alcotest.test_case "enforcer noop session" `Quick test_enforcer_noop_session;
+    Alcotest.test_case "enforcer lint delta in audit" `Quick
+      test_enforcer_lint_delta_in_audit;
+    Alcotest.test_case "enforcer clean session no lint delta" `Quick
+      test_enforcer_clean_session_no_lint_delta;
   ]

@@ -9,6 +9,7 @@ let () =
       ("control", Test_control.suite);
       ("verify", Test_verify.suite);
       ("privilege", Test_privilege.suite);
+      ("lint", Test_lint.suite);
       ("twin", Test_twin.suite);
       ("enforcer", Test_enforcer.suite);
       ("msp", Test_msp.suite);

@@ -390,6 +390,76 @@ let test_acl_shadowed () =
   checki "one shadowed" 1 (List.length (Acl.shadowed_rules acl));
   checki "no shadow in sample" 0 (List.length (Acl.shadowed_rules (sample_acl ())))
 
+let test_acl_shadow_port_subsumption () =
+  (* Range covers Eq inside it; Eq never covers a wider Range. *)
+  checkb "range covers eq" true (Acl.port_subsumes (Acl.Range (5000, 5010)) (Acl.Eq 5005));
+  checkb "eq edge lo" true (Acl.port_subsumes (Acl.Range (5000, 5010)) (Acl.Eq 5000));
+  checkb "eq outside" false (Acl.port_subsumes (Acl.Range (5000, 5010)) (Acl.Eq 4999));
+  checkb "eq vs range" false (Acl.port_subsumes (Acl.Eq 5005) (Acl.Range (5000, 5010)));
+  checkb "range vs range" true (Acl.port_subsumes (Acl.Range (1, 100)) (Acl.Range (10, 20)));
+  checkb "range overlap only" false
+    (Acl.port_subsumes (Acl.Range (10, 20)) (Acl.Range (15, 25)));
+  let shadow =
+    Acl.make "PORTS"
+      [
+        Acl.rule ~proto:(Acl.Proto Flow.Tcp) ~dst_port:(Acl.Range (8000, 8100)) ~seq:10
+          Acl.Permit Prefix.any Prefix.any;
+        Acl.rule ~proto:(Acl.Proto Flow.Tcp) ~dst_port:(Acl.Eq 8080) ~seq:20 Acl.Deny
+          Prefix.any Prefix.any;
+      ]
+  in
+  checki "eq under range shadowed" 1 (List.length (Acl.shadowed_rules shadow));
+  let no_shadow =
+    Acl.make "PORTS2"
+      [
+        Acl.rule ~proto:(Acl.Proto Flow.Tcp) ~dst_port:(Acl.Eq 8080) ~seq:10 Acl.Permit
+          Prefix.any Prefix.any;
+        Acl.rule ~proto:(Acl.Proto Flow.Tcp) ~dst_port:(Acl.Range (8000, 8100)) ~seq:20
+          Acl.Deny Prefix.any Prefix.any;
+      ]
+  in
+  checki "range under eq not shadowed" 0 (List.length (Acl.shadowed_rules no_shadow))
+
+let test_acl_shadow_proto_subsumption () =
+  checkb "any covers tcp" true (Acl.proto_subsumes Acl.Any_proto (Acl.Proto Flow.Tcp));
+  checkb "tcp not any" false (Acl.proto_subsumes (Acl.Proto Flow.Tcp) Acl.Any_proto);
+  checkb "tcp not udp" false
+    (Acl.proto_subsumes (Acl.Proto Flow.Tcp) (Acl.Proto Flow.Udp));
+  let shadow =
+    Acl.make "PROTO"
+      [
+        Acl.rule ~seq:10 Acl.Permit (Prefix.of_string "10.0.0.0/8") Prefix.any;
+        Acl.rule ~proto:(Acl.Proto Flow.Udp) ~seq:20 Acl.Deny
+          (Prefix.of_string "10.1.0.0/16") Prefix.any;
+      ]
+  in
+  checki "proto under any shadowed" 1 (List.length (Acl.shadowed_rules shadow));
+  let no_shadow =
+    Acl.make "PROTO2"
+      [
+        Acl.rule ~proto:(Acl.Proto Flow.Tcp) ~seq:10 Acl.Permit Prefix.any Prefix.any;
+        Acl.rule ~seq:20 Acl.Deny Prefix.any Prefix.any;
+      ]
+  in
+  checki "any under proto not shadowed" 0 (List.length (Acl.shadowed_rules no_shadow))
+
+let test_acl_shadow_equal_prefix_different_action () =
+  (* Identical matchers, opposite actions: rule_subsumes ignores the
+     action, so the later rule is dead either way. *)
+  let p = Prefix.of_string "10.5.0.0/16" in
+  let acl =
+    Acl.make "EQ"
+      [
+        Acl.rule ~seq:10 Acl.Permit p Prefix.any;
+        Acl.rule ~seq:20 Acl.Deny p Prefix.any;
+      ]
+  in
+  checkb "equal rules subsume" true
+    (Acl.rule_subsumes (Acl.find_rule 10 acl |> Option.get) (Acl.find_rule 20 acl |> Option.get));
+  (match Acl.shadowed_rules acl with
+  | [ r ] -> checki "later rule dead" 20 r.Acl.seq
+  | l -> Alcotest.failf "expected one shadowed rule, got %d" (List.length l))
+
 (* qcheck: first-match semantics — removing all rules after the decisive
    one never changes the verdict. *)
 let arbitrary_flow =
@@ -466,6 +536,10 @@ let suite =
     Alcotest.test_case "acl replace same seq" `Quick test_acl_replace_same_seq;
     Alcotest.test_case "acl duplicate seq rejected" `Quick test_acl_duplicate_seq_rejected;
     Alcotest.test_case "acl shadowed rules" `Quick test_acl_shadowed;
+    Alcotest.test_case "acl shadow port subsumption" `Quick test_acl_shadow_port_subsumption;
+    Alcotest.test_case "acl shadow proto subsumption" `Quick test_acl_shadow_proto_subsumption;
+    Alcotest.test_case "acl shadow equal prefixes" `Quick
+      test_acl_shadow_equal_prefix_different_action;
     QCheck_alcotest.to_alcotest prop_acl_first_match;
     Alcotest.test_case "flow reverse" `Quick test_flow_reverse;
     Alcotest.test_case "flow defaults" `Quick test_flow_defaults;

@@ -157,6 +157,49 @@ let test_dsl_multiline_statement () =
   let spec = Dsl.parse "allow show.*,\n diag.*\n on r1;\n" in
   checkb "parsed" true (Privilege.allows spec (Privilege.request "diag.ping" "r1"))
 
+let test_dsl_error_line_numbers () =
+  let cases =
+    [
+      ("allow show.* on r1;\npermit diag.* on r1;\n", 2);
+      ("# comment\n\nallow show.* r1;\n", 3);
+      ("allow show.* on r1;\nallow frobnicate.* on r1;\n", 2);
+      ("allow show.* on r1;\n\nallow diag.*,\n interface.up\n on\n", 3);
+      ("deny on r1;\n", 1);
+    ]
+  in
+  List.iter
+    (fun (text, expected) ->
+      match Dsl.parse_result text with
+      | Error (line, _) -> checki (String.escaped text) expected line
+      | Ok _ -> Alcotest.fail ("expected DSL error: " ^ text))
+    cases
+
+(* qcheck: render ∘ parse is the identity on generated specs. *)
+let gen_predicate =
+  let action_pats =
+    [ "*"; "show.*"; "diag.*"; "interface.*"; "acl.rule"; "route.static"; "system.*" ]
+  in
+  let resource_strs = [ "*"; "r1"; "r*"; "fw1:eth0"; "r1:eth*"; "sw2:vlan10" ] in
+  QCheck.Gen.map3
+    (fun eff acts res ->
+      {
+        Privilege.effect = (if eff then Privilege.Allow else Privilege.Deny);
+        actions = acts;
+        resources = List.map Privilege.resource_of_string res;
+      })
+    QCheck.Gen.bool
+    QCheck.Gen.(list_size (int_range 1 3) (oneofl action_pats))
+    QCheck.Gen.(list_size (int_range 1 3) (oneofl resource_strs))
+
+let arbitrary_spec =
+  QCheck.make
+    ~print:(fun t -> Dsl.render t)
+    QCheck.Gen.(map Privilege.of_predicates (list_size (int_range 0 5) gen_predicate))
+
+let prop_dsl_render_parse_roundtrip =
+  QCheck.Test.make ~count:200 ~name:"dsl render/parse roundtrip" arbitrary_spec
+    (fun spec -> Dsl.parse (Dsl.render spec) = spec)
+
 (* ---------------- JSON front-end ---------------- *)
 
 let test_json_frontend_roundtrip () =
@@ -231,6 +274,8 @@ let suite =
     Alcotest.test_case "dsl roundtrip" `Quick test_dsl_roundtrip;
     Alcotest.test_case "dsl errors" `Quick test_dsl_errors;
     Alcotest.test_case "dsl multiline" `Quick test_dsl_multiline_statement;
+    Alcotest.test_case "dsl error line numbers" `Quick test_dsl_error_line_numbers;
+    QCheck_alcotest.to_alcotest prop_dsl_render_parse_roundtrip;
     Alcotest.test_case "json roundtrip" `Quick test_json_frontend_roundtrip;
     Alcotest.test_case "json document" `Quick test_json_frontend_document;
     Alcotest.test_case "json errors" `Quick test_json_frontend_errors;

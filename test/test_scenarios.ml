@@ -246,9 +246,28 @@ let test_campaign_event_stream () =
        (fun (e : Campaign.event) -> e.kind = Campaign.Honest_repair)
        (Campaign.events ~seed:7 ~tickets:20 ~malicious_pct:0))
 
+let test_scenario_of_name () =
+  checki "two scenarios" 2 (List.length Experiments.scenario_names);
+  List.iter
+    (fun name ->
+      match Experiments.scenario_of_name name with
+      | None -> Alcotest.fail ("missing scenario " ^ name)
+      | Some sc ->
+          Alcotest.check Alcotest.string "name carried" name sc.Experiments.scenario_name;
+          checkb "has policies" true (sc.Experiments.policies <> []);
+          checkb "has issues" true (sc.Experiments.issues <> []))
+    Experiments.scenario_names;
+  checkb "unknown rejected" true (Experiments.scenario_of_name "datacenter" = None);
+  (* The cached record matches the cached pair accessors. *)
+  let sc = Option.get (Experiments.scenario_of_name "enterprise") in
+  let net, policies = Experiments.enterprise () in
+  checkb "same network" true (sc.Experiments.net == net);
+  checkb "same policies" true (sc.Experiments.policies == policies)
+
 let suite =
   [
     Alcotest.test_case "enterprise inventory" `Quick test_enterprise_inventory;
+    Alcotest.test_case "scenario_of_name" `Quick test_scenario_of_name;
     Alcotest.test_case "university inventory" `Quick test_university_inventory;
     Alcotest.test_case "networks healthy" `Quick test_networks_healthy;
     Alcotest.test_case "networks deterministic" `Quick test_networks_deterministic;
