@@ -1,7 +1,7 @@
 # CI entry points.  `make check` is what the pipeline runs on every
 # change: a full build plus the tier-1 test suite.
 
-.PHONY: check build test lint bench clean
+.PHONY: check build test lint bench bench-smoke clean
 
 check: build test
 
@@ -19,6 +19,12 @@ lint: build
 
 bench:
 	dune exec bench/main.exe
+
+# The two report sections CI persists on every run: static-analysis and
+# verify-engine wall times, merged by key into bench/report.json (so one
+# section never clobbers the other).
+bench-smoke: build
+	dune exec bench/main.exe -- lint engine
 
 clean:
 	dune clean

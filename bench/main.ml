@@ -14,6 +14,38 @@ open Toolkit
 open Heimdall_scenarios
 
 (* ------------------------------------------------------------------ *)
+(* Perf-report persistence                                             *)
+(* ------------------------------------------------------------------ *)
+
+let report_path = "bench/report.json"
+
+(* Read-merge-write by top-level key: each report section owns one key
+   in bench/report.json, so running `bench lint` no longer clobbers the
+   engine section written by a previous `bench engine` (and vice versa).
+   An unreadable or malformed existing file degrades to a fresh one. *)
+let persist_report ~key json =
+  let open Heimdall_json in
+  let existing =
+    if Sys.file_exists report_path then
+      try
+        In_channel.with_open_text report_path (fun ic ->
+            Json.of_string_opt (In_channel.input_all ic))
+      with Sys_error _ -> None
+    else None
+  in
+  let fields =
+    match existing with Some (Json.Obj fields) -> fields | _ -> []
+  in
+  let merged = (key, json) :: List.remove_assoc key fields in
+  let merged = List.sort (fun (a, _) (b, _) -> compare a b) merged in
+  try
+    Out_channel.with_open_text report_path (fun oc ->
+        Out_channel.output_string oc (Json.to_string ~pretty:true (Json.Obj merged));
+        Out_channel.output_char oc '\n');
+    Printf.printf "  wrote %S section of %s\n" key report_path
+  with Sys_error m -> Printf.printf "  could not write %s: %s\n" report_path m
+
+(* ------------------------------------------------------------------ *)
 (* Paper-shaped reports                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -66,23 +98,38 @@ let report_engine () =
   print_string "== Verify engine: 1-domain vs N-domain university sweep ==\n";
   let net, policies = Experiments.university () in
   let run domains =
-    let engine = Engine.create ~domains () in
+    let obs = Heimdall_obs.Obs.create () in
+    let engine = Engine.create ~domains ~obs () in
     let summaries, wall =
       Heimdall_msp.Timing.elapsed (fun () ->
           Metrics.sweep_all ~engine ~production:net ~policies ())
     in
-    (summaries, wall, Engine.stats engine)
+    (summaries, wall, Engine.stats engine, obs)
   in
-  let s1, wall1, stats1 = run 1 in
+  let s1, wall1, stats1, _ = run 1 in
   (* At least 2 so the parallel path is exercised even on a 1-core host
      (where no speedup can be expected). *)
   let n = max 2 (Engine.default_domains ()) in
-  let sn, walln, statsn = run n in
+  let sn, walln, statsn, obsn = run n in
   Printf.printf "1 domain : %.3f s\n%s" wall1 (Engine.render_stats stats1);
   Printf.printf "%d domains: %.3f s  (%.2fx speedup)\n%s" n walln
     (wall1 /. Float.max 1e-9 walln)
     (Engine.render_stats statsn);
-  Printf.printf "verdicts identical across domain counts: %b\n\n" (s1 = sn)
+  Printf.printf "verdicts identical across domain counts: %b\n" (s1 = sn);
+  let open Heimdall_json in
+  persist_report ~key:"engine"
+    (Json.Obj
+       [
+         ("wall_s_1_domain", Json.Float wall1);
+         ("wall_s_n_domains", Json.Float walln);
+         ("domains", Json.Int n);
+         ("speedup", Json.Float (wall1 /. Float.max 1e-9 walln));
+         ("verdicts_identical", Json.Bool (s1 = sn));
+         ("stats_1_domain", Engine.stats_to_json stats1);
+         ("stats_n_domains", Engine.stats_to_json statsn);
+         ("metrics_n_domains", Heimdall_obs.Metrics.to_json obsn.Heimdall_obs.Obs.metrics);
+       ]);
+  print_newline ()
 
 let report_lint () =
   print_string "== Lint: static-analysis wall time (1 domain vs N domains) ==\n";
@@ -106,31 +153,23 @@ let report_lint () =
   let rows = [ enterprise; university ] in
   (* Persist into the JSON perf report so the trajectory accrues per run. *)
   let open Heimdall_json in
-  let json =
-    Json.Obj
-      [
-        ("domains", Json.Int n);
-        ( "lint",
-          Json.List
-            (List.map
-               (fun (name, findings, t1, tn) ->
-                 Json.Obj
-                   [
-                     ("network", Json.String name);
-                     ("findings", Json.Int findings);
-                     ("wall_s_1_domain", Json.Float t1);
-                     ("wall_s_n_domains", Json.Float tn);
-                   ])
-               rows) );
-      ]
-  in
-  let path = "bench/report.json" in
-  (try
-     Out_channel.with_open_text path (fun oc ->
-         Out_channel.output_string oc (Json.to_string ~pretty:true json);
-         Out_channel.output_char oc '\n');
-     Printf.printf "  wrote %s\n" path
-   with Sys_error m -> Printf.printf "  could not write %s: %s\n" path m);
+  persist_report ~key:"lint"
+    (Json.Obj
+       [
+         ("domains", Json.Int n);
+         ( "networks",
+           Json.List
+             (List.map
+                (fun (name, findings, t1, tn) ->
+                  Json.Obj
+                    [
+                      ("network", Json.String name);
+                      ("findings", Json.Int findings);
+                      ("wall_s_1_domain", Json.Float t1);
+                      ("wall_s_n_domains", Json.Float tn);
+                    ])
+                rows) );
+       ]);
   print_newline ()
 
 let report_ablation_verify () =

@@ -129,10 +129,101 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Trace an ICMP flow through the dataplane")
     Term.(const run $ network_arg $ addr 1 "SRC" $ addr 2 "DST")
 
+(* ---------------- observability (shared flags + obs subcommand) ---------------- *)
+
+let trace_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "trace-out" ] ~docv:"FILE"
+        ~doc:"Write the run's spans to $(docv) as JSON lines (one span per line).")
+
+let metrics_flag =
+  Arg.(
+    value & flag
+    & info [ "metrics" ]
+        ~doc:"Print the metrics registry in Prometheus text format (instead of JSON).")
+
+(* Drain an Obs context to the terminal (span tree + metrics dump) and,
+   when requested, to a JSONL trace file.  Shared by [obs] and [ticket]. *)
+let dump_obs ?trace_out ~metrics (obs : Heimdall_obs.Obs.t) =
+  let spans = Heimdall_obs.Tracer.flush obs.tracer in
+  print_string (Heimdall_obs.Tracer.render_tree spans);
+  (match trace_out with
+  | Some path ->
+      let sink = Heimdall_obs.Sink.file path in
+      Heimdall_obs.Tracer.emit sink spans;
+      Heimdall_obs.Sink.close sink;
+      Printf.printf "wrote %d spans to %s\n" (List.length spans) path
+  | None -> ());
+  let events = Heimdall_obs.Events.events obs.events in
+  if events <> [] then begin
+    print_endline "events:";
+    List.iter
+      (fun e ->
+        print_endline
+          ("  "
+          ^ Heimdall_json.Json.to_string (Heimdall_obs.Events.event_to_json e)))
+      events
+  end;
+  print_endline "metrics:";
+  if metrics then print_string (Heimdall_obs.Metrics.to_prometheus obs.metrics)
+  else
+    print_endline
+      (Heimdall_json.Json.to_string ~pretty:true
+         (Heimdall_obs.Metrics.to_json obs.metrics))
+
+let obs_cmd =
+  let issue_opt_arg =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"ISSUE"
+          ~doc:"Issue to replay: vlan, ospf or isp (default: all three).")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Engine domain pool for the instrumented run (default: auto).")
+  in
+  let run ({ Experiments.net; policies; _ } as sc) issue_name trace_out metrics domains =
+    let issues =
+      match issue_name with
+      | None -> sc.Experiments.issues
+      | Some name -> (
+          match find_issue sc name with
+          | Ok i -> [ i ]
+          | Error m ->
+              prerr_endline m;
+              exit 1)
+    in
+    let obs = Heimdall_obs.Obs.create () in
+    let engine = Heimdall_verify.Engine.create ?domains ~obs () in
+    List.iter
+      (fun (issue : Heimdall_msp.Issue.t) ->
+        let run =
+          Heimdall_msp.Workflow.run_heimdall ~engine ~production:net ~policies ~issue ()
+        in
+        Printf.printf "%s: %s, %d denied commands\n" issue.name
+          (if run.Heimdall_msp.Workflow.resolved then "resolved" else "NOT resolved")
+          run.Heimdall_msp.Workflow.denied)
+      issues;
+    print_string (Heimdall_verify.Engine.render_stats (Heimdall_verify.Engine.stats engine));
+    dump_obs ?trace_out ~metrics obs
+  in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:
+         "Replay a scenario's issues through the instrumented Heimdall workflow and \
+          print the span tree, structured events and metrics")
+    Term.(const run $ network_arg $ issue_opt_arg $ trace_out_arg $ metrics_flag $ domains_arg)
+
 (* ---------------- ticket ---------------- *)
 
 let ticket_cmd =
-  let run ({ Experiments.net; policies; _ } as sc) issue_name =
+  let run ({ Experiments.net; policies; _ } as sc) issue_name trace_out metrics =
     match find_issue sc issue_name with
     | Error m ->
         prerr_endline m;
@@ -141,16 +232,21 @@ let ticket_cmd =
         print_endline (Heimdall_msp.Issue.to_string issue);
         let current = Heimdall_msp.Workflow.run_current ~production:net ~issue in
         print_string (Heimdall_msp.Workflow.run_to_string current);
+        let obs =
+          if trace_out <> None || metrics then Some (Heimdall_obs.Obs.create ())
+          else None
+        in
         let heimdall =
-          Heimdall_msp.Workflow.run_heimdall ~production:net ~policies ~issue ()
+          Heimdall_msp.Workflow.run_heimdall ?obs ~production:net ~policies ~issue ()
         in
         print_string (Heimdall_msp.Workflow.run_to_string heimdall);
         Printf.printf "Heimdall overhead: +%.1f s\n"
-          (Heimdall_msp.Workflow.total_s heimdall -. Heimdall_msp.Workflow.total_s current)
+          (Heimdall_msp.Workflow.total_s heimdall -. Heimdall_msp.Workflow.total_s current);
+        Option.iter (fun o -> dump_obs ?trace_out ~metrics o) obs
   in
   Cmd.v
     (Cmd.info "ticket" ~doc:"Run an issue through both workflows")
-    Term.(const run $ network_arg $ issue_arg 1)
+    Term.(const run $ network_arg $ issue_arg 1 $ trace_out_arg $ metrics_flag)
 
 (* ---------------- privilege ---------------- *)
 
@@ -523,4 +619,5 @@ let () =
             load_cmd;
             shell_cmd;
             audit_cmd;
+            obs_cmd;
           ]))

@@ -21,24 +21,59 @@ let default_enclave = Enclave.load ~code_identity:"heimdall-policy-enforcer-v1"
    started.  The delta is advisory — it lands in the audit trail for the
    MSP customer to review, but does not by itself reject the import
    (policy verification is the gate). *)
-let lint_delta emulation =
+let lint_delta ?engine ?obs emulation =
   let open Heimdall_lint in
   let baseline =
-    Lint.check_network ~twin_exposed:true (Heimdall_twin.Emulation.baseline emulation)
+    Lint.check_network ?engine ?obs ~twin_exposed:true
+      (Heimdall_twin.Emulation.baseline emulation)
   in
   let current =
-    Lint.check_network ~twin_exposed:true (Heimdall_twin.Emulation.network emulation)
+    Lint.check_network ?engine ?obs ~twin_exposed:true
+      (Heimdall_twin.Emulation.network emulation)
   in
   List.filter
     (fun d -> not (List.exists (Diagnostic.equal d) baseline))
     current
 
-let process ?(enclave = default_enclave) ~production ~policies ~privilege ~session () =
+let process ?(enclave = default_enclave) ?engine ?obs ~production ~policies
+    ~privilege ~session () =
+  let obs =
+    match obs with Some _ -> obs | None -> Option.bind engine Engine.obs
+  in
   let emulation = Heimdall_twin.Session.emulation session in
   let changes = Heimdall_twin.Emulation.changes emulation in
   let audit = Audit.of_session_log (Heimdall_twin.Session.log session) in
-  let verdict = Verifier.verify ~production ~policies ~privilege ~changes in
-  let lint_findings = lint_delta emulation in
+  (* Correlate the tamper-evident trail with the trace: the outermost
+     span open on this domain (the session root when the workflow opened
+     one) is recorded as an ordinary audit record, so an auditor can join
+     the chained log against the emitted JSONL spans. *)
+  let audit =
+    match Heimdall_obs.Obs.root obs with
+    | Some root ->
+        Audit.append ~actor:"enforcer" ~action:"obs.trace" ~resource:"session"
+          ~detail:(Printf.sprintf "root-span-id=%d" root)
+          ~verdict:"recorded" audit
+    | None -> audit
+  in
+  let verdict =
+    Verifier.verify ?engine ?obs ~production ~policies ~privilege ~changes ()
+  in
+  Heimdall_obs.Obs.event obs "policy.verdict"
+    ~attrs:
+      [
+        ("accepted", string_of_bool verdict.Verifier.accepted);
+        ("rejections", string_of_int (List.length verdict.Verifier.rejections));
+        ("fixed", string_of_int (List.length verdict.Verifier.fixed_policies));
+      ];
+  let lint_findings =
+    Heimdall_obs.Obs.span obs "enforcer.lint" (fun () ->
+        let delta = lint_delta ?engine ?obs emulation in
+        Heimdall_obs.Obs.add_attr obs "new_findings"
+          (string_of_int (List.length delta));
+        delta)
+  in
+  Heimdall_obs.Obs.event obs "lint.delta"
+    ~attrs:[ ("new_findings", string_of_int (List.length lint_findings)) ];
   let audit =
     List.fold_left
       (fun audit (c : Change.t) ->
@@ -84,7 +119,7 @@ let process ?(enclave = default_enclave) ~production ~policies ~privilege ~sessi
     }
   end
   else
-    match Scheduler.plan ~production ~policies ~changes with
+    match Scheduler.plan ?engine ?obs ~production ~policies ~changes () with
     | Error m ->
         let audit =
           Audit.append ~actor:"enforcer" ~action:"schedule" ~resource:"production"
@@ -104,10 +139,16 @@ let process ?(enclave = default_enclave) ~production ~policies ~privilege ~sessi
           sealed_head = Enclave.seal enclave head;
         }
     | Ok (plan, updated) ->
+        let dataplane net =
+          match engine with
+          | Some e -> Engine.dataplane e net
+          | None -> Heimdall_control.Dataplane.compute net
+        in
         let impact =
-          Reachability.diff
-            ~before:(Reachability.compute (Heimdall_control.Dataplane.compute production))
-            ~after:(Reachability.compute (Heimdall_control.Dataplane.compute updated))
+          Heimdall_obs.Obs.span obs "enforcer.impact" (fun () ->
+              Reachability.diff
+                ~before:(Reachability.compute ?engine ?obs (dataplane production))
+                ~after:(Reachability.compute ?engine ?obs (dataplane updated)))
         in
         let audit =
           List.fold_left

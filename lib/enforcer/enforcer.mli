@@ -32,6 +32,8 @@ val default_enclave : Enclave.t
 
 val process :
   ?enclave:Enclave.t ->
+  ?engine:Engine.t ->
+  ?obs:Heimdall_obs.Obs.t ->
   production:Network.t ->
   policies:Policy.t list ->
   privilege:Privilege.t ->
@@ -39,6 +41,15 @@ val process :
   unit ->
   outcome
 (** Run the pipeline.  On rejection, [updated] is [None] and production
-    is untouched. *)
+    is untouched.
+
+    With [?engine] the verify/schedule/impact stages share the engine's
+    memoized dataplanes and domain pool.  With [?obs] (or an engine
+    carrying one) each stage is traced, stage outcomes become structured
+    events ([policy.verdict], [lint.delta], [schedule.decision]), and —
+    when a root span is open on the calling domain (e.g. the workflow's
+    session span) — its id is chained into the audit trail as an
+    [obs.trace] record so spans and audit records can be joined.  The
+    decision itself is byte-identical with or without instrumentation. *)
 
 val outcome_to_string : outcome -> string

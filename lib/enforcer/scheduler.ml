@@ -5,14 +5,25 @@ open Heimdall_verify
 type step = { change : Change.t; transient_violations : (Policy.t * string) list }
 type plan = { steps : step list; safe : bool }
 
-let new_violations ~held dp policies =
+let new_violations ?engine ~held dp policies =
   (* Violations among policies that currently hold. *)
-  let report = Policy.check_all dp policies in
+  let report = Policy.check_all ?engine dp policies in
   List.filter (fun (p, _) -> List.exists (Policy.equal p) held) report.violations
 
-let plan ~production ~policies ~changes =
+let plan ?engine ?obs ~production ~policies ~changes () =
+  let obs =
+    match obs with Some _ -> obs | None -> Option.bind engine Engine.obs
+  in
+  Heimdall_obs.Obs.span obs "enforcer.schedule"
+    ~attrs:[ ("changes", string_of_int (List.length changes)) ]
+    (fun () ->
+  let dataplane net =
+    match engine with
+    | Some e -> Engine.dataplane e net
+    | None -> Dataplane.compute net
+  in
   let held_on net =
-    let report = Policy.check_all (Dataplane.compute net) policies in
+    let report = Policy.check_all ?engine (dataplane net) policies in
     List.filter
       (fun p -> not (List.exists (fun (q, _) -> Policy.equal p q) report.violations))
       policies
@@ -27,7 +38,7 @@ let plan ~production ~policies ~changes =
           match Network.apply_changes [ c ] current with
           | Error m -> Error m
           | Ok net ->
-              let damage = new_violations ~held (Dataplane.compute net) policies in
+              let damage = new_violations ?engine ~held (dataplane net) policies in
               Ok (c, net, damage)
         in
         let rec eval_all acc = function
@@ -58,7 +69,20 @@ let plan ~production ~policies ~changes =
             in
             go net remaining' ({ change = c; transient_violations = damage } :: steps))
   in
-  go production changes []
+  let result = go production changes [] in
+  (match result with
+  | Ok (p, _) ->
+      Heimdall_obs.Obs.add_attr obs "safe" (string_of_bool p.safe);
+      Heimdall_obs.Obs.event obs "schedule.decision"
+        ~attrs:
+          [
+            ("steps", string_of_int (List.length p.steps));
+            ("safe", string_of_bool p.safe);
+          ]
+  | Error m ->
+      Heimdall_obs.Obs.add_attr obs "error" m;
+      Heimdall_obs.Obs.event obs "schedule.decision" ~attrs:[ ("error", m) ]);
+  result)
 
 let plan_to_string p =
   let buf = Buffer.create 256 in

@@ -24,9 +24,15 @@ type plan = {
   safe : bool;  (** No step has transient violations. *)
 }
 
-val plan : production:Network.t -> policies:Policy.t list -> changes:Change.t list ->
+val plan :
+  ?engine:Engine.t -> ?obs:Heimdall_obs.Obs.t ->
+  production:Network.t -> policies:Policy.t list -> changes:Change.t list ->
+  unit ->
   (plan * Network.t, string) result
 (** Compute the order and the final network.  Fails only if some change
-    cannot apply at all. *)
+    cannot apply at all.  With [?engine] intermediate dataplanes come
+    from its memo cache; with [?obs] (or an engine carrying one) the
+    stage is an [enforcer.schedule] span and the outcome is recorded as
+    a [schedule.decision] event.  The plan is identical either way. *)
 
 val plan_to_string : plan -> string

@@ -33,38 +33,67 @@ let privilege_rejections ~privilege changes =
       else Some (Privilege_violation { change = c; action }))
     changes
 
-let verify ~production ~policies ~privilege ~changes =
-  let priv_rejections = privilege_rejections ~privilege changes in
-  match Network.apply_changes changes production with
-  | Error m ->
-      {
-        accepted = false;
-        rejections = priv_rejections @ [ Apply_error m ];
-        shadow = None;
-        fixed_policies = [];
-      }
-  | Ok shadow ->
-      let before = Policy.check_all (Dataplane.compute production) policies in
-      let after = Policy.check_all (Dataplane.compute shadow) policies in
-      let violated_before p =
-        List.exists (fun (q, _) -> Policy.equal p q) before.violations
+let verify ?engine ?obs ~production ~policies ~privilege ~changes () =
+  let obs =
+    match obs with Some _ -> obs | None -> Option.bind engine Engine.obs
+  in
+  Heimdall_obs.Obs.span obs "enforcer.verify"
+    ~attrs:[ ("changes", string_of_int (List.length changes)) ]
+    (fun () ->
+      let dataplane net =
+        match engine with
+        | Some e -> Engine.dataplane e net
+        | None -> Dataplane.compute net
       in
-      let policy_rejections =
-        (* Only *new* violations block the import: a policy already broken
-           in production (e.g. the ticket's own symptom) cannot be held
-           against the fix. *)
-        List.filter_map
-          (fun (p, reason) ->
-            if violated_before p then None
-            else Some (Policy_violation { policy = p; reason }))
-          after.violations
+      let priv_rejections = privilege_rejections ~privilege changes in
+      let result =
+        match Network.apply_changes changes production with
+        | Error m ->
+            {
+              accepted = false;
+              rejections = priv_rejections @ [ Apply_error m ];
+              shadow = None;
+              fixed_policies = [];
+            }
+        | Ok shadow ->
+            let before =
+              Policy.check_all ?engine ?obs (dataplane production) policies
+            in
+            let after =
+              Policy.check_all ?engine ?obs (dataplane shadow) policies
+            in
+            let violated_before p =
+              List.exists (fun (q, _) -> Policy.equal p q) before.violations
+            in
+            let policy_rejections =
+              (* Only *new* violations block the import: a policy already broken
+                 in production (e.g. the ticket's own symptom) cannot be held
+                 against the fix. *)
+              List.filter_map
+                (fun (p, reason) ->
+                  if violated_before p then None
+                  else Some (Policy_violation { policy = p; reason }))
+                after.violations
+            in
+            let fixed_policies =
+              List.filter_map
+                (fun (p, _) ->
+                  if List.exists (fun (q, _) -> Policy.equal p q) after.violations
+                  then None
+                  else Some p)
+                before.violations
+            in
+            let rejections = priv_rejections @ policy_rejections in
+            {
+              accepted = rejections = [];
+              rejections;
+              shadow = Some shadow;
+              fixed_policies;
+            }
       in
-      let fixed_policies =
-        List.filter_map
-          (fun (p, _) ->
-            if List.exists (fun (q, _) -> Policy.equal p q) after.violations then None
-            else Some p)
-          before.violations
-      in
-      let rejections = priv_rejections @ policy_rejections in
-      { accepted = rejections = []; rejections; shadow = Some shadow; fixed_policies }
+      Heimdall_obs.Obs.add_attr obs "accepted" (string_of_bool result.accepted);
+      Heimdall_obs.Obs.add_attr obs "rejections"
+        (string_of_int (List.length result.rejections));
+      Heimdall_obs.Obs.incr obs ~by:(List.length result.rejections)
+        "enforcer.rejections";
+      result)

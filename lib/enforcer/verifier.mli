@@ -37,8 +37,16 @@ type outcome = {
 }
 
 val verify :
+  ?engine:Engine.t ->
+  ?obs:Heimdall_obs.Obs.t ->
   production:Network.t ->
   policies:Policy.t list ->
   privilege:Privilege.t ->
   changes:Change.t list ->
+  unit ->
   outcome
+(** With [?engine] the production/shadow dataplanes come from the
+    engine's memo cache (and policy checks fan out through its domain
+    pool); with [?obs] (or an engine carrying one) the stage is traced
+    as an [enforcer.verify] span and feeds the [enforcer.rejections]
+    counter.  The outcome is identical either way. *)

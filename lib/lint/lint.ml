@@ -55,21 +55,27 @@ let rule code = List.find_opt (fun r -> r.code = code) rules
 
 (* ---------------- entry points ---------------- *)
 
-let check_network ?engine ?(twin_exposed = false) net =
-  let nodes = Network.node_names net in
-  let per_device =
-    match engine with
-    | None -> List.map (Config_lint.check_device net) nodes
-    | Some e ->
-        Engine.phase e "lint/devices" (fun () ->
-            Engine.map e (Config_lint.check_device net) nodes)
-  in
-  let cross =
-    Config_lint.check_links net
-    @ Config_lint.duplicate_addresses net
-    @ if twin_exposed then Config_lint.twin_exposure net else []
-  in
-  List.sort Diagnostic.compare (List.concat per_device @ cross)
+let check_network ?engine ?obs ?(twin_exposed = false) net =
+  let obs = match obs with Some _ -> obs | None -> Option.bind engine Engine.obs in
+  Heimdall_obs.Obs.span obs "lint.check_network" (fun () ->
+      let nodes = Network.node_names net in
+      let per_device =
+        match engine with
+        | None -> List.map (Config_lint.check_device net) nodes
+        | Some e ->
+            Engine.phase e "lint/devices" (fun () ->
+                Engine.map e (Config_lint.check_device net) nodes)
+      in
+      let cross =
+        Config_lint.check_links net
+        @ Config_lint.duplicate_addresses net
+        @ if twin_exposed then Config_lint.twin_exposure net else []
+      in
+      let findings = List.sort Diagnostic.compare (List.concat per_device @ cross) in
+      Heimdall_obs.Obs.add_attr obs "devices" (string_of_int (List.length nodes));
+      Heimdall_obs.Obs.add_attr obs "findings" (string_of_int (List.length findings));
+      Heimdall_obs.Obs.incr obs ~by:(List.length findings) "lint.findings";
+      findings)
 
 let check_privilege ?network ?label spec =
   Priv_lint.check ?network spec

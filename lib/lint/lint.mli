@@ -35,13 +35,18 @@ val rule : string -> rule option
 
 (** {1 Entry points} *)
 
-val check_network : ?engine:Engine.t -> ?twin_exposed:bool -> Network.t -> Diagnostic.t list
+val check_network :
+  ?engine:Engine.t -> ?obs:Heimdall_obs.Obs.t -> ?twin_exposed:bool -> Network.t ->
+  Diagnostic.t list
 (** All config-family and ACL-family findings for a network.  Per-device
     checks (including each device's ACLs) fan out through [engine] when
     one is given; cross-device checks (duplicate addresses, link
     mismatches) run on the calling domain.  [twin_exposed] (default
     false) additionally runs the SEC001 secret-exposure check — set it
-    when the network is (about to be) technician-visible. *)
+    when the network is (about to be) technician-visible.  With [?obs]
+    (or an engine carrying one) the pass is a tracer span and feeds the
+    [lint.findings] counter; the report itself is byte-identical with
+    or without instrumentation, at any domain count. *)
 
 val check_privilege : ?network:Network.t -> ?label:string -> Privilege.t -> Diagnostic.t list
 (** All privilege-family findings for one spec.  [network] enables the

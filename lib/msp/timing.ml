@@ -5,11 +5,7 @@ let privilege_review_s = 5.0
 let twin_boot_base_s = 8.0
 let twin_boot_per_node_s = 0.5
 let verify_review_s = 4.0
-let now () = Unix.gettimeofday ()
-
-let elapsed f =
-  let t0 = now () in
-  let v = f () in
-  (* The wall clock is not monotonic: an NTP step mid-run would
-     otherwise surface as a negative duration in reports. *)
-  (v, Float.max 0.0 (now () -. t0))
+(* All wall-clock measurement delegates to the one clamped helper in
+   Heimdall_obs.Clock, so the NTP-step guard lives in exactly one place. *)
+let now = Heimdall_obs.Clock.now_s
+let elapsed = Heimdall_obs.Clock.elapsed

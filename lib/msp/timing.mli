@@ -38,5 +38,6 @@ val now : unit -> float
 val elapsed : (unit -> 'a) -> 'a * float
 (** [elapsed f] runs [f] and returns its result with the wall-clock
     seconds it took, clamped at zero so a backwards clock step (NTP
-    adjustment) can never yield a negative duration.  Every measured
-    component routes through this one helper. *)
+    adjustment) can never yield a negative duration.  An alias for
+    {!Heimdall_obs.Clock.elapsed} — every measured component in the
+    tree routes through that single helper. *)

@@ -68,79 +68,103 @@ let run_current ~production ~(issue : Issue.t) =
     final_network;
   }
 
-let run_heimdall ?(strategy = Slicer.Task) ~production ~policies ~(issue : Issue.t) () =
-  let broken = issue.inject production in
-  (* Step 1: generate the Privilege_msp. *)
-  let (slice, privilege), privgen_compute =
-    Timing.elapsed (fun () ->
-        let slice =
-          Twin.slice_nodes ~strategy ~production:broken
-            ~endpoints:issue.ticket.endpoints ()
-        in
-        (slice, Priv_gen.for_ticket ~network:broken ~slice issue.ticket))
+let run_heimdall ?(strategy = Slicer.Task) ?engine ?obs ~production ~policies
+    ~(issue : Issue.t) () =
+  let obs =
+    match obs with
+    | Some _ -> obs
+    | None -> Option.bind engine Heimdall_verify.Engine.obs
   in
-  let privgen =
-    {
-      label = "generate privilege";
-      human_s = Timing.privilege_review_s;
-      compute_s = privgen_compute;
-    }
-  in
-  (* Step 2: build the twin (slice, scrub, boot, precompute dataplane). *)
-  let emulation, twin_compute =
-    Timing.elapsed (fun () ->
-        let em =
-          Twin.build ~strategy ~production:broken ~endpoints:issue.ticket.endpoints ()
-        in
-        ignore (Emulation.dataplane em);
-        em)
-  in
-  let twin_boot_human =
-    Timing.twin_boot_base_s
-    +. (float_of_int (List.length slice) *. Timing.twin_boot_per_node_s)
-  in
-  let twin_setup =
-    { label = "set up twin network"; human_s = twin_boot_human; compute_s = twin_compute }
-  in
-  let session = Twin.open_session ~privilege emulation in
-  let connect = { label = "connect"; human_s = Timing.connect_s; compute_s = 0.0 } in
-  let (_ : (string, Session.error) result list), ops_compute =
-    Timing.elapsed (fun () -> Session.exec_many session issue.fix_commands)
-  in
-  let operations =
-    {
-      label = "perform operations";
-      human_s = script_human issue.fix_commands;
-      compute_s = ops_compute;
-    }
-  in
-  (* Step 3: verify changes and schedule them into production. *)
-  let outcome, verify_compute =
-    Timing.elapsed (fun () ->
-        Heimdall_enforcer.Enforcer.process ~production:broken ~policies ~privilege
-          ~session ())
-  in
-  let verify =
-    {
-      label = "verify and schedule";
-      human_s = Timing.verify_review_s;
-      compute_s = verify_compute;
-    }
-  in
-  let save = { label = "save changes"; human_s = Timing.save_s; compute_s = 0.0 } in
-  let final_network =
-    match outcome.Heimdall_enforcer.Enforcer.updated with
-    | Some net -> net
-    | None -> broken
-  in
-  {
-    workflow = "heimdall";
-    issue = issue.name;
-    steps = [ privgen; twin_setup; connect; operations; verify; save ];
-    resolved =
-      outcome.Heimdall_enforcer.Enforcer.approved && probe_resolved issue final_network;
-    denied = Session.denied_count session;
-    session;
-    outcome = Some outcome;
-    final_network;
-  }
+  (* The whole run is one root span named "session": every stage below —
+     and the enforcer's audit-trail correlation record — hangs off it. *)
+  Heimdall_obs.Obs.span obs "session"
+    ~attrs:[ ("workflow", "heimdall"); ("issue", issue.name) ]
+    (fun () ->
+      let broken = issue.inject production in
+      (* Step 1: generate the Privilege_msp. *)
+      let (slice, privilege), privgen_compute =
+        Heimdall_obs.Obs.span obs "workflow.generate_privilege" (fun () ->
+            Timing.elapsed (fun () ->
+                let slice =
+                  Twin.slice_nodes ~strategy ?obs ~production:broken
+                    ~endpoints:issue.ticket.endpoints ()
+                in
+                (slice, Priv_gen.for_ticket ~network:broken ~slice issue.ticket)))
+      in
+      let privgen =
+        {
+          label = "generate privilege";
+          human_s = Timing.privilege_review_s;
+          compute_s = privgen_compute;
+        }
+      in
+      (* Step 2: build the twin (slice, scrub, boot, precompute dataplane). *)
+      let emulation, twin_compute =
+        Heimdall_obs.Obs.span obs "workflow.twin_setup" (fun () ->
+            Timing.elapsed (fun () ->
+                let em =
+                  Twin.build ~strategy ?obs ~production:broken
+                    ~endpoints:issue.ticket.endpoints ()
+                in
+                ignore (Emulation.dataplane em);
+                em))
+      in
+      let twin_boot_human =
+        Timing.twin_boot_base_s
+        +. (float_of_int (List.length slice) *. Timing.twin_boot_per_node_s)
+      in
+      let twin_setup =
+        { label = "set up twin network"; human_s = twin_boot_human; compute_s = twin_compute }
+      in
+      let session = Twin.open_session ?obs ~privilege emulation in
+      let connect = { label = "connect"; human_s = Timing.connect_s; compute_s = 0.0 } in
+      let (_ : (string, Session.error) result list), ops_compute =
+        Heimdall_obs.Obs.span obs "workflow.operations"
+          ~attrs:[ ("commands", string_of_int (List.length issue.fix_commands)) ]
+          (fun () ->
+            Timing.elapsed (fun () -> Session.exec_many session issue.fix_commands))
+      in
+      let operations =
+        {
+          label = "perform operations";
+          human_s = script_human issue.fix_commands;
+          compute_s = ops_compute;
+        }
+      in
+      (* Step 3: verify changes and schedule them into production. *)
+      let outcome, verify_compute =
+        Heimdall_obs.Obs.span obs "workflow.verify" (fun () ->
+            Timing.elapsed (fun () ->
+                Heimdall_enforcer.Enforcer.process ?engine ?obs ~production:broken
+                  ~policies ~privilege ~session ()))
+      in
+      let verify =
+        {
+          label = "verify and schedule";
+          human_s = Timing.verify_review_s;
+          compute_s = verify_compute;
+        }
+      in
+      let save = { label = "save changes"; human_s = Timing.save_s; compute_s = 0.0 } in
+      let final_network =
+        match outcome.Heimdall_enforcer.Enforcer.updated with
+        | Some net -> net
+        | None -> broken
+      in
+      let run =
+        {
+          workflow = "heimdall";
+          issue = issue.name;
+          steps = [ privgen; twin_setup; connect; operations; verify; save ];
+          resolved =
+            outcome.Heimdall_enforcer.Enforcer.approved
+            && probe_resolved issue final_network;
+          denied = Session.denied_count session;
+          session;
+          outcome = Some outcome;
+          final_network;
+        }
+      in
+      Heimdall_obs.Obs.add_attr obs "resolved" (string_of_bool run.resolved);
+      Heimdall_obs.Obs.add_attr obs "denied" (string_of_int run.denied);
+      run)

@@ -35,6 +35,8 @@ val run_current : production:Network.t -> issue:Issue.t -> run
 
 val run_heimdall :
   ?strategy:Heimdall_twin.Slicer.strategy ->
+  ?engine:Engine.t ->
+  ?obs:Heimdall_obs.Obs.t ->
   production:Network.t ->
   policies:Policy.t list ->
   issue:Issue.t ->
@@ -42,4 +44,10 @@ val run_heimdall :
   run
 (** Heimdall's workflow: generate a Privilege_msp for the ticket, build
     the twin, execute the same fix script inside it, then verify and
-    schedule the changes into production. *)
+    schedule the changes into production.
+
+    With [?engine] the verification stages share its memoized dataplanes
+    and domain pool.  With [?obs] (or an engine carrying one) the whole
+    run is a root span named ["session"] with one child span per step,
+    and the enforcer chains the root span id into the audit trail.  The
+    run's verdicts are byte-identical with or without instrumentation. *)

@@ -1,0 +1,7 @@
+let now_s = Unix.gettimeofday
+let clamp d = Float.max 0.0 d
+
+let elapsed f =
+  let t0 = now_s () in
+  let v = f () in
+  (v, clamp (now_s () -. t0))

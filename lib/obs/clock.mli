@@ -1,0 +1,20 @@
+(** The one duration clock.
+
+    Every timed site in the system — engine phase buckets, workflow step
+    compute times, tracer span durations, bench wall clocks — routes
+    through this module, so the monotonic-clamping policy lives in
+    exactly one place.  [Unix.gettimeofday] is not monotonic: an NTP
+    step mid-measurement would otherwise surface as a negative duration
+    in reports, spans and histograms. *)
+
+val now_s : unit -> float
+(** Raw wall clock in seconds ([Unix.gettimeofday]); {b not} monotonic.
+    Only meaningful for differences fed through {!clamp}/{!elapsed}. *)
+
+val clamp : float -> float
+(** [max 0.0 d] — a backwards clock step can never yield a negative
+    duration. *)
+
+val elapsed : (unit -> 'a) -> 'a * float
+(** [elapsed f] runs [f] and returns its result with the wall-clock
+    seconds it took, clamped at zero. *)

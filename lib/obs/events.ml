@@ -1,0 +1,34 @@
+type event = { seq : int; kind : string; attrs : (string * string) list }
+
+type t = { lock : Mutex.t; mutable entries : event list; mutable count : int }
+
+let create () = { lock = Mutex.create (); entries = []; count = 0 }
+
+let record t ?(attrs = []) kind =
+  Mutex.lock t.lock;
+  t.count <- t.count + 1;
+  t.entries <- { seq = t.count; kind; attrs } :: t.entries;
+  Mutex.unlock t.lock
+
+let events t =
+  Mutex.lock t.lock;
+  let es = List.rev t.entries in
+  Mutex.unlock t.lock;
+  es
+
+let length t = t.count
+
+module Json = Heimdall_json.Json
+
+let event_to_json e =
+  Json.Obj
+    [
+      ("seq", Json.Int e.seq);
+      ("kind", Json.String e.kind);
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) e.attrs));
+    ]
+
+let to_json t = Json.List (List.map event_to_json (events t))
+
+let emit sink es =
+  List.iter (fun e -> Sink.write sink (Json.to_string (event_to_json e))) es

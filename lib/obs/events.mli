@@ -1,0 +1,30 @@
+(** The structured event log: discrete operational occurrences.
+
+    Where spans time {e regions} and metrics aggregate {e totals},
+    events record individual {e facts} — a policy verdict, a privilege
+    denial, a lint delta, a schedule decision — as machine-readable
+    records with a global sequence number.  Safe to record from any
+    domain; the sequence order is the lock-acquisition order. *)
+
+type event = {
+  seq : int;  (** 1-based, in recording order. *)
+  kind : string;  (** e.g. ["policy.verdict"], ["privilege.denied"]. *)
+  attrs : (string * string) list;
+}
+
+type t
+
+val create : unit -> t
+
+val record : t -> ?attrs:(string * string) list -> string -> unit
+
+val events : t -> event list
+(** Oldest first. *)
+
+val length : t -> int
+
+val event_to_json : event -> Heimdall_json.Json.t
+val to_json : t -> Heimdall_json.Json.t
+
+val emit : Sink.t -> event list -> unit
+(** One JSON line per event. *)

@@ -1,0 +1,173 @@
+let bucket_count = 64
+let bucket_base = 1e-6
+
+(* Bucket i holds samples in (base·2^(i-1), base·2^i]; bucket 0 holds
+   everything at or below [bucket_base]. *)
+let bucket_of v =
+  if v <= bucket_base then 0
+  else
+    let i = int_of_float (Float.ceil (Float.log2 (v /. bucket_base))) in
+    min (bucket_count - 1) (max 0 i)
+
+let bucket_upper i = bucket_base *. Float.pow 2.0 (float_of_int i)
+
+type hist = {
+  mutable count : int;
+  mutable sum : float;
+  mutable max_v : float;
+  buckets : int array;
+}
+
+type t = {
+  lock : Mutex.t;
+  cnts : (string, int ref) Hashtbl.t;
+  gauges : (string, float ref) Hashtbl.t;
+  hists : (string, hist) Hashtbl.t;
+}
+
+let create () =
+  {
+    lock = Mutex.create ();
+    cnts = Hashtbl.create 16;
+    gauges = Hashtbl.create 16;
+    hists = Hashtbl.create 16;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let incr t ?(by = 1) name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.cnts name with
+      | Some r -> r := !r + by
+      | None -> Hashtbl.replace t.cnts name (ref by))
+
+let set_gauge t name v =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.gauges name with
+      | Some r -> r := v
+      | None -> Hashtbl.replace t.gauges name (ref v))
+
+let observe t name v =
+  let v = Float.max 0.0 v in
+  locked t (fun () ->
+      let h =
+        match Hashtbl.find_opt t.hists name with
+        | Some h -> h
+        | None ->
+            let h =
+              { count = 0; sum = 0.0; max_v = 0.0; buckets = Array.make bucket_count 0 }
+            in
+            Hashtbl.replace t.hists name h;
+            h
+      in
+      h.count <- h.count + 1;
+      h.sum <- h.sum +. v;
+      h.max_v <- Float.max h.max_v v;
+      let i = bucket_of v in
+      h.buckets.(i) <- h.buckets.(i) + 1)
+
+let counter_value t name =
+  locked t (fun () ->
+      match Hashtbl.find_opt t.cnts name with Some r -> !r | None -> 0)
+
+let gauge_value t name =
+  locked t (fun () -> Option.map ( ! ) (Hashtbl.find_opt t.gauges name))
+
+type summary = { count : int; sum : float; p50 : float; p95 : float; max : float }
+
+let quantile (h : hist) q =
+  if h.count = 0 then 0.0
+  else begin
+    let target = int_of_float (Float.ceil (q *. float_of_int h.count)) in
+    let target = max 1 target in
+    let rec go i seen =
+      if i >= bucket_count then h.max_v
+      else
+        let seen = seen + h.buckets.(i) in
+        if seen >= target then Float.min (bucket_upper i) h.max_v else go (i + 1) seen
+    in
+    go 0 0
+  end
+
+let summary_of (h : hist) =
+  { count = h.count; sum = h.sum; p50 = quantile h 0.5; p95 = quantile h 0.95; max = h.max_v }
+
+let histogram_summary t name =
+  locked t (fun () -> Option.map summary_of (Hashtbl.find_opt t.hists name))
+
+let sorted_bindings tbl =
+  Hashtbl.fold (fun k v acc -> (k, v) :: acc) tbl []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let counters t =
+  locked t (fun () -> List.map (fun (k, r) -> (k, !r)) (sorted_bindings t.cnts))
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+      match c with 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' | ':' -> c | _ -> '_')
+    name
+
+let to_prometheus t =
+  locked t (fun () ->
+      let buf = Buffer.create 512 in
+      List.iter
+        (fun (name, r) ->
+          let n = sanitize name in
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s counter\n%s %d\n" n n !r))
+        (sorted_bindings t.cnts);
+      List.iter
+        (fun (name, r) ->
+          let n = sanitize name in
+          Buffer.add_string buf (Printf.sprintf "# TYPE %s gauge\n%s %g\n" n n !r))
+        (sorted_bindings t.gauges);
+      List.iter
+        (fun (name, h) ->
+          let n = sanitize name in
+          let s = summary_of h in
+          Buffer.add_string buf
+            (Printf.sprintf
+               "# TYPE %s summary\n\
+                %s{quantile=\"0.5\"} %g\n\
+                %s{quantile=\"0.95\"} %g\n\
+                %s{quantile=\"1\"} %g\n\
+                %s_sum %g\n\
+                %s_count %d\n"
+               n n s.p50 n s.p95 n s.max n s.sum n s.count))
+        (sorted_bindings t.hists);
+      Buffer.contents buf)
+
+module Json = Heimdall_json.Json
+
+let to_json t =
+  locked t (fun () ->
+      Json.Obj
+        [
+          ( "counters",
+            Json.Obj
+              (List.map (fun (k, r) -> (k, Json.Int !r)) (sorted_bindings t.cnts)) );
+          ( "gauges",
+            Json.Obj
+              (List.map (fun (k, r) -> (k, Json.Float !r)) (sorted_bindings t.gauges)) );
+          ( "histograms",
+            Json.Obj
+              (List.map
+                 (fun (k, h) ->
+                   let s = summary_of h in
+                   ( k,
+                     Json.Obj
+                       [
+                         ("count", Json.Int s.count);
+                         ("sum", Json.Float s.sum);
+                         ("p50", Json.Float s.p50);
+                         ("p95", Json.Float s.p95);
+                         ("max", Json.Float s.max);
+                       ] ))
+                 (sorted_bindings t.hists)) );
+        ])

@@ -1,0 +1,54 @@
+(** The metrics registry: named counters, gauges, and log-bucketed
+    histograms.
+
+    All mutators are safe to call from any domain (one mutex per
+    registry) and never affect the instrumented computation.  Rendering
+    is deterministic: series are sorted by name, so two registries fed
+    the same updates render byte-identically. *)
+
+type t
+
+val create : unit -> t
+
+(** {1 Updating} *)
+
+val incr : t -> ?by:int -> string -> unit
+(** Add [by] (default 1) to a counter, creating it at 0. *)
+
+val set_gauge : t -> string -> float -> unit
+
+val observe : t -> string -> float -> unit
+(** Record one sample into a histogram with logarithmic (powers-of-two)
+    buckets from 1 µs up; negative samples are clamped to 0. *)
+
+(** {1 Reading} *)
+
+val counter_value : t -> string -> int
+(** 0 for an unknown counter. *)
+
+val gauge_value : t -> string -> float option
+
+type summary = {
+  count : int;
+  sum : float;
+  p50 : float;  (** Bucket-upper-bound estimate of the median. *)
+  p95 : float;
+  max : float;  (** Exact. *)
+}
+
+val histogram_summary : t -> string -> summary option
+
+val counters : t -> (string * int) list
+(** Sorted by name. *)
+
+(** {1 Rendering} *)
+
+val to_prometheus : t -> string
+(** Prometheus-style text exposition: counters and gauges as plain
+    series, histograms as quantile summaries ([{quantile="0.5"}],
+    [{quantile="0.95"}], [{quantile="1"}] = max) plus [_sum]/[_count].
+    Metric names are sanitised to [[a-zA-Z0-9_:]]. *)
+
+val to_json : t -> Heimdall_json.Json.t
+(** [{"counters": {...}, "gauges": {...}, "histograms": {name:
+    {count, sum, p50, p95, max}}}], keys sorted. *)

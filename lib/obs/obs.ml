@@ -1,0 +1,27 @@
+type t = { tracer : Tracer.t; metrics : Metrics.t; events : Events.t }
+
+let create () =
+  { tracer = Tracer.create (); metrics = Metrics.create (); events = Events.create () }
+
+let span obs ?parent ?attrs name f =
+  match obs with
+  | None -> f ()
+  | Some o -> Tracer.with_span o.tracer ?parent ?attrs name f
+
+let add_attr obs k v =
+  match obs with None -> () | Some o -> Tracer.add_attr o.tracer k v
+
+let incr obs ?by name =
+  match obs with None -> () | Some o -> Metrics.incr o.metrics ?by name
+
+let set_gauge obs name v =
+  match obs with None -> () | Some o -> Metrics.set_gauge o.metrics name v
+
+let observe obs name v =
+  match obs with None -> () | Some o -> Metrics.observe o.metrics name v
+
+let event obs ?attrs kind =
+  match obs with None -> () | Some o -> Events.record o.events ?attrs kind
+
+let current obs = Option.bind obs (fun o -> Tracer.current o.tracer)
+let root obs = Option.bind obs (fun o -> Tracer.root o.tracer)

@@ -1,0 +1,39 @@
+(** The observability context: one tracer + one metrics registry + one
+    event log, threaded through the enforcer pipeline as an [Obs.t
+    option].
+
+    Every helper here takes the {e option}: instrumented call sites
+    write [Obs.span obs "enforcer.verify" f] and pay nothing (and — the
+    determinism invariant — change nothing) when observability is off.
+    The context never influences computed values; tier-1 tests assert
+    byte-identical verdicts and lint reports with a context present or
+    absent, at any engine domain count. *)
+
+type t = {
+  tracer : Tracer.t;
+  metrics : Metrics.t;
+  events : Events.t;
+}
+
+val create : unit -> t
+
+(** {1 Option-taking instrumentation helpers} *)
+
+val span :
+  t option -> ?parent:int -> ?attrs:(string * string) list -> string ->
+  (unit -> 'a) -> 'a
+(** {!Tracer.with_span} when present, plain [f ()] when absent. *)
+
+val add_attr : t option -> string -> string -> unit
+val incr : t option -> ?by:int -> string -> unit
+val set_gauge : t option -> string -> float -> unit
+val observe : t option -> string -> float -> unit
+val event : t option -> ?attrs:(string * string) list -> string -> unit
+
+val current : t option -> int option
+(** Innermost open span id on the calling domain. *)
+
+val root : t option -> int option
+(** Outermost open span id on the calling domain — what the enforcer
+    records in the audit trail to correlate operational traces with the
+    tamper-evident chain. *)

@@ -1,0 +1,186 @@
+type span = {
+  id : int;
+  parent : int option;
+  name : string;
+  start_s : float;
+  duration_s : float;
+  attrs : (string * string) list;
+}
+
+type frame = {
+  fid : int;
+  fname : string;
+  fparent : int option;
+  t0 : float;
+  mutable fattrs : (string * string) list;  (* newest first *)
+}
+
+(* One buffer per domain: only its own domain ever mutates it, so the
+   tracer lock is held just long enough to look the buffer up. *)
+type buf = { mutable finished : span list; mutable stack : frame list }
+
+type t = {
+  epoch : float;
+  next_id : int Atomic.t;
+  lock : Mutex.t;
+  bufs : (int, buf) Hashtbl.t;  (* domain id -> buffer *)
+}
+
+let create () =
+  {
+    epoch = Clock.now_s ();
+    next_id = Atomic.make 1;
+    lock = Mutex.create ();
+    bufs = Hashtbl.create 8;
+  }
+
+let locked t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let buf_of t =
+  let d = (Domain.self () :> int) in
+  locked t (fun () ->
+      match Hashtbl.find_opt t.bufs d with
+      | Some b -> b
+      | None ->
+          let b = { finished = []; stack = [] } in
+          Hashtbl.replace t.bufs d b;
+          b)
+
+let current t = match (buf_of t).stack with [] -> None | f :: _ -> Some f.fid
+
+let root t =
+  match (buf_of t).stack with
+  | [] -> None
+  | stack -> Some (List.nth stack (List.length stack - 1)).fid
+
+let add_attr t k v =
+  match (buf_of t).stack with
+  | [] -> ()
+  | f :: _ -> f.fattrs <- (k, v) :: f.fattrs
+
+let with_span t ?parent ?(attrs = []) name f =
+  let b = buf_of t in
+  let parent =
+    match parent with
+    | Some _ as p -> p
+    | None -> ( match b.stack with [] -> None | fr :: _ -> Some fr.fid)
+  in
+  let fr =
+    {
+      fid = Atomic.fetch_and_add t.next_id 1;
+      fname = name;
+      fparent = parent;
+      t0 = Clock.now_s ();
+      fattrs = List.rev attrs;
+    }
+  in
+  b.stack <- fr :: b.stack;
+  Fun.protect
+    ~finally:(fun () ->
+      let duration_s = Clock.clamp (Clock.now_s () -. fr.t0) in
+      (* Pop even if an inner span leaked (exception unwound past it). *)
+      b.stack <- List.filter (fun fr' -> fr' != fr && fr'.fid < fr.fid) b.stack;
+      b.finished <-
+        {
+          id = fr.fid;
+          parent = fr.fparent;
+          name = fr.fname;
+          start_s = Clock.clamp (fr.t0 -. t.epoch);
+          duration_s;
+          attrs = List.rev fr.fattrs;
+        }
+        :: b.finished)
+    f
+
+let flush t =
+  let spans =
+    locked t (fun () ->
+        Hashtbl.fold
+          (fun _ b acc ->
+            let s = b.finished in
+            b.finished <- [];
+            List.rev_append s acc)
+          t.bufs [])
+  in
+  List.sort (fun a b -> compare a.id b.id) spans
+
+(* ------------------------------------------------------------------ *)
+(* JSONL                                                               *)
+(* ------------------------------------------------------------------ *)
+
+module Json = Heimdall_json.Json
+
+let span_to_json s =
+  Json.Obj
+    [
+      ("id", Json.Int s.id);
+      ("parent", match s.parent with None -> Json.Null | Some p -> Json.Int p);
+      ("name", Json.String s.name);
+      ("start_s", Json.Float s.start_s);
+      ("duration_s", Json.Float s.duration_s);
+      ("attrs", Json.Obj (List.map (fun (k, v) -> (k, Json.String v)) s.attrs));
+    ]
+
+let span_of_json json =
+  let ( let* ) = Option.bind in
+  let* id = Option.bind (Json.member "id" json) Json.to_int_opt in
+  let parent =
+    match Json.member "parent" json with
+    | Some (Json.Int p) -> Some p
+    | _ -> None
+  in
+  let* name = Option.bind (Json.member "name" json) Json.to_string_opt in
+  let* start_s = Option.bind (Json.member "start_s" json) Json.to_float_opt in
+  let* duration_s = Option.bind (Json.member "duration_s" json) Json.to_float_opt in
+  let attrs =
+    match Json.member "attrs" json with
+    | Some (Json.Obj fields) ->
+        List.filter_map
+          (fun (k, v) -> Option.map (fun s -> (k, s)) (Json.to_string_opt v))
+          fields
+    | _ -> []
+  in
+  Some { id; parent; name; start_s; duration_s; attrs }
+
+let emit sink spans =
+  List.iter (fun s -> Sink.write sink (Json.to_string (span_to_json s))) spans
+
+(* ------------------------------------------------------------------ *)
+(* Rendering                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let render_tree spans =
+  let ids = List.map (fun s -> s.id) spans in
+  let children parent =
+    List.filter
+      (fun s ->
+        match s.parent with
+        | Some p -> Some p = parent && List.mem p ids
+        | None -> parent = None)
+      spans
+  in
+  (* A span whose parent is absent from the list still renders, as a root. *)
+  let roots =
+    List.filter
+      (fun s ->
+        match s.parent with None -> true | Some p -> not (List.mem p ids))
+      spans
+  in
+  let buf = Buffer.create 256 in
+  let rec go depth s =
+    Buffer.add_string buf
+      (Printf.sprintf "%s%s #%d  %.4f s%s\n"
+         (String.make (2 * depth) ' ')
+         s.name s.id s.duration_s
+         (match s.attrs with
+         | [] -> ""
+         | attrs ->
+             "  ["
+             ^ String.concat ", " (List.map (fun (k, v) -> k ^ "=" ^ v) attrs)
+             ^ "]"));
+    List.iter (go (depth + 1)) (children (Some s.id))
+  in
+  List.iter (go 0) roots;
+  Buffer.contents buf

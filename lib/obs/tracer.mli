@@ -1,0 +1,62 @@
+(** Hierarchical span tracing, safe under the verify engine's domain
+    pool.
+
+    A span is a named, timed region of execution with key/value
+    attributes, a unique id and an optional parent id.  Spans nest: the
+    innermost open span on the {e current domain} becomes the parent of
+    the next one opened there (an explicit [?parent] overrides this, for
+    fan-out sites that open spans on behalf of other work).
+
+    Domain safety: every domain writes finished spans into its own
+    buffer (registered in the tracer on first use), so workers in
+    {!Heimdall_verify.Engine.map}-style pools never contend on a hot
+    lock; {!flush} merges all buffers into one id-ordered list.  Ids
+    come from a single atomic counter, so they are unique across
+    domains.  Tracing never influences the traced computation — with
+    the tracer absent the exact same values are produced (the
+    determinism tier-1 tests rely on). *)
+
+type span = {
+  id : int;  (** Unique within the tracer, > 0. *)
+  parent : int option;  (** [None] for root spans. *)
+  name : string;
+  start_s : float;  (** Seconds since tracer creation, clamped at 0. *)
+  duration_s : float;  (** Wall seconds, clamped at 0. *)
+  attrs : (string * string) list;  (** Creation attrs then added attrs, in order. *)
+}
+
+type t
+
+val create : unit -> t
+
+val with_span :
+  t -> ?parent:int -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
+(** [with_span t name f] opens a span, runs [f], and records the span —
+    also on exception.  [?parent] defaults to the innermost span open on
+    the calling domain. *)
+
+val add_attr : t -> string -> string -> unit
+(** Attach an attribute to the innermost open span on the calling
+    domain; a no-op when none is open. *)
+
+val current : t -> int option
+(** Id of the innermost open span on the calling domain. *)
+
+val root : t -> int option
+(** Id of the {e outermost} open span on the calling domain — the
+    session span an enforcer records into the audit trail. *)
+
+val flush : t -> span list
+(** Merge and clear every domain's finished-span buffer.  Sorted by id
+    (creation order); still-open spans stay open and are not returned. *)
+
+val span_to_json : span -> Heimdall_json.Json.t
+val span_of_json : Heimdall_json.Json.t -> span option
+
+val emit : Sink.t -> span list -> unit
+(** Write one JSON line per span ({!span_to_json}). *)
+
+val render_tree : span list -> string
+(** Indented span tree (children under parents, in id order) with
+    durations and attributes — the CLI's [obs] subcommand output.
+    Spans whose parent is missing from the list are shown as roots. *)

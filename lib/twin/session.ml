@@ -35,13 +35,14 @@ type t = {
   emulation : Emulation.t;
   mutable privilege : Privilege.t;
   technician : string;
+  obs : Heimdall_obs.Obs.t option;
   mutable connected : string option;
   mutable entries : log_entry list;  (* newest first *)
   mutable seq : int;
 }
 
-let create ?(technician = "tech") ~privilege emulation =
-  { emulation; privilege; technician; connected = None; entries = []; seq = 0 }
+let create ?(technician = "tech") ?obs ~privilege emulation =
+  { emulation; privilege; technician; obs; connected = None; entries = []; seq = 0 }
 
 let emulation t = t.emulation
 let privilege t = t.privilege
@@ -54,7 +55,9 @@ let record t ~node ~command ~action verdict =
   t.seq <- t.seq + 1;
   t.entries <-
     { seq = t.seq; technician = t.technician; node; command; action; verdict }
-    :: t.entries
+    :: t.entries;
+  Heimdall_obs.Obs.incr t.obs "session.commands";
+  if verdict = Denied then Heimdall_obs.Obs.incr t.obs "session.denied"
 
 let escalate t predicate =
   t.privilege <- Privilege.prepend predicate t.privilege;
@@ -128,6 +131,14 @@ let exec t line =
             in
             if not (Privilege.allows t.privilege request) then begin
               record t ~node ~command:line ~action Denied;
+              Heimdall_obs.Obs.event t.obs "privilege.denied"
+                ~attrs:
+                  [
+                    ("technician", t.technician);
+                    ("action", action);
+                    ("node", node);
+                    ("command", line);
+                  ];
               Error (Denied_request { action; node })
             end
             else begin

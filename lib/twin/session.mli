@@ -32,8 +32,13 @@ val error_to_string : error -> string
 
 type t
 
-val create : ?technician:string -> privilege:Privilege.t -> Emulation.t -> t
-(** A fresh session; [technician] defaults to ["tech"]. *)
+val create :
+  ?technician:string -> ?obs:Heimdall_obs.Obs.t -> privilege:Privilege.t ->
+  Emulation.t -> t
+(** A fresh session; [technician] defaults to ["tech"].  With [?obs]
+    the monitor counts commands ([session.commands] / [session.denied])
+    and records every privilege denial as a [privilege.denied] event —
+    verdicts and the session log are unaffected. *)
 
 val exec : t -> string -> (string, error) result
 (** Execute one command line; returns console output.  Denied and

@@ -2,8 +2,13 @@ open Heimdall_net
 open Heimdall_config
 open Heimdall_control
 
-let slice_nodes ?(strategy = Slicer.Task) ~production ~endpoints () =
-  Slicer.slice strategy production ~endpoints
+let slice_nodes ?(strategy = Slicer.Task) ?obs ~production ~endpoints () =
+  Heimdall_obs.Obs.span obs "twin.slice" (fun () ->
+      let slice = Slicer.slice strategy production ~endpoints in
+      Heimdall_obs.Obs.add_attr obs "nodes" (string_of_int (List.length slice));
+      Heimdall_obs.Obs.set_gauge obs "twin.slice_nodes"
+        (float_of_int (List.length slice));
+      slice)
 
 (* Environment stubs: for every production link with exactly one end
    inside the slice, attach a synthetic "env-<peer>" router that owns the
@@ -61,16 +66,19 @@ let with_env_stubs production sliced slice =
     Network.make !topo (Network.configs sliced @ stub_configs)
   end
 
-let build ?(strategy = Slicer.Task) ?(env_stubs = false) ~production ~endpoints () =
-  let slice = Slicer.slice strategy production ~endpoints in
-  let sliced = Network.restrict slice production in
-  let sliced = if env_stubs then with_env_stubs production sliced slice else sliced in
-  let scrubbed =
-    List.fold_left
-      (fun net (node, cfg) -> Network.with_config node (Redact.scrub cfg) net)
-      sliced (Network.configs sliced)
-  in
-  Emulation.create scrubbed
+let build ?(strategy = Slicer.Task) ?(env_stubs = false) ?obs ~production ~endpoints () =
+  Heimdall_obs.Obs.span obs "twin.build" (fun () ->
+      let slice = slice_nodes ~strategy ?obs ~production ~endpoints () in
+      let sliced = Network.restrict slice production in
+      let sliced = if env_stubs then with_env_stubs production sliced slice else sliced in
+      let scrubbed =
+        Heimdall_obs.Obs.span obs "twin.scrub" (fun () ->
+            List.fold_left
+              (fun net (node, cfg) -> Network.with_config node (Redact.scrub cfg) net)
+              sliced (Network.configs sliced))
+      in
+      Heimdall_obs.Obs.add_attr obs "nodes" (string_of_int (List.length slice));
+      Emulation.create scrubbed)
 
-let open_session ?technician ~privilege emulation =
-  Session.create ?technician ~privilege emulation
+let open_session ?technician ?obs ~privilege emulation =
+  Session.create ?technician ?obs ~privilege emulation

@@ -8,6 +8,7 @@ open Heimdall_privilege
 val build :
   ?strategy:Slicer.strategy ->
   ?env_stubs:bool ->
+  ?obs:Heimdall_obs.Obs.t ->
   production:Network.t ->
   endpoints:string list ->
   unit ->
@@ -23,10 +24,15 @@ val build :
     refinement). *)
 
 val open_session :
-  ?technician:string -> privilege:Privilege.t -> Emulation.t -> Session.t
-(** Open a monitored technician session on a twin. *)
+  ?technician:string -> ?obs:Heimdall_obs.Obs.t -> privilege:Privilege.t ->
+  Emulation.t -> Session.t
+(** Open a monitored technician session on a twin.  With [?obs] the
+    reference monitor records privilege denials as structured events
+    and feeds the session command counters. *)
 
 val slice_nodes :
-  ?strategy:Slicer.strategy -> production:Network.t -> endpoints:string list -> unit ->
+  ?strategy:Slicer.strategy -> ?obs:Heimdall_obs.Obs.t ->
+  production:Network.t -> endpoints:string list -> unit ->
   string list
-(** The node set the twin would contain (exposed for metrics). *)
+(** The node set the twin would contain (exposed for metrics).  With
+    [?obs], a [twin.slice] span plus a [twin.slice_nodes] gauge. *)

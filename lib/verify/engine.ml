@@ -7,6 +7,7 @@ type flow_cache = { dp : Dataplane.t; flows : (Flow.t, Trace.result) Hashtbl.t }
 
 type t = {
   pool : int;
+  obs : Heimdall_obs.Obs.t option;
   lock : Mutex.t;
   dp_cache : (string, Dataplane.t) Hashtbl.t;  (* digest -> dataplane *)
   mutable flow_caches : flow_cache list;  (* most recently used first *)
@@ -24,10 +25,11 @@ let max_flow_caches = 32
 
 let default_domains () = min 8 (max 1 (Domain.recommended_domain_count ()))
 
-let create ?domains () =
+let create ?domains ?obs () =
   let pool = max 1 (Option.value domains ~default:(default_domains ())) in
   {
     pool;
+    obs;
     lock = Mutex.create ();
     dp_cache = Hashtbl.create 64;
     flow_caches = [];
@@ -40,6 +42,7 @@ let create ?domains () =
   }
 
 let domains t = t.pool
+let obs t = t.obs
 let locked t f = Mutex.lock t.lock; Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
 
 (* ------------------------------------------------------------------ *)
@@ -55,10 +58,13 @@ let dataplane t net =
   match locked t (fun () -> Hashtbl.find_opt t.dp_cache key) with
   | Some dp ->
       Atomic.incr t.dp_hits;
+      Heimdall_obs.Obs.incr t.obs "engine.dataplane.cache_hit";
       dp
   | None ->
-      let dp = Dataplane.compute net in
+      let dp, dt = Heimdall_obs.Clock.elapsed (fun () -> Dataplane.compute net) in
       Atomic.incr t.dp_built;
+      Heimdall_obs.Obs.incr t.obs "engine.dataplane.built";
+      Heimdall_obs.Obs.observe t.obs "engine.dataplane.build_s" dt;
       locked t (fun () ->
           (* Another domain may have raced us; keep the first value so
              every caller shares one physical dataplane. *)
@@ -94,10 +100,12 @@ let trace t dp flow =
   match locked t (fun () -> Hashtbl.find_opt (flows_for t dp) flow) with
   | Some r ->
       Atomic.incr t.trace_hits;
+      Heimdall_obs.Obs.incr t.obs "engine.trace.cache_hit";
       r
   | None ->
       let r = Trace.trace dp flow in
       Atomic.incr t.traces_run;
+      Heimdall_obs.Obs.incr t.obs "engine.trace.run";
       locked t (fun () ->
           let flows = flows_for t dp in
           if not (Hashtbl.mem flows flow) then Hashtbl.replace flows flow r);
@@ -114,6 +122,8 @@ let map t f xs =
   if pool <= 1 then List.map f xs
   else begin
     locked t (fun () -> t.domains_used <- max t.domains_used pool);
+    Heimdall_obs.Obs.set_gauge t.obs "engine.domains_used" (float_of_int pool);
+    Heimdall_obs.Obs.incr t.obs ~by:n "engine.map.items";
     let out = Array.make n None in
     let next = Atomic.make 0 in
     (* Chunks keep queue contention low while still load-balancing
@@ -142,15 +152,16 @@ let map t f xs =
 (* ------------------------------------------------------------------ *)
 
 let phase t name f =
-  let t0 = Unix.gettimeofday () in
-  let v = f () in
-  let dt = Float.max 0.0 (Unix.gettimeofday () -. t0) in
-  locked t (fun () ->
-      t.phases <-
-        (if List.mem_assoc name t.phases then
-           List.map (fun (n, s) -> if n = name then (n, s +. dt) else (n, s)) t.phases
-         else (name, dt) :: t.phases));
-  v
+  Heimdall_obs.Obs.span t.obs ~attrs:[ ("component", "engine") ] ("phase:" ^ name)
+    (fun () ->
+      let v, dt = Heimdall_obs.Clock.elapsed f in
+      locked t (fun () ->
+          t.phases <-
+            (if List.mem_assoc name t.phases then
+               List.map (fun (n, s) -> if n = name then (n, s +. dt) else (n, s)) t.phases
+             else (name, dt) :: t.phases));
+      Heimdall_obs.Obs.observe t.obs ("engine.phase_s." ^ name) dt;
+      v)
 
 type stats = {
   traces_run : int;
@@ -184,6 +195,20 @@ let reset_stats t =
 let trace_hit_rate s =
   let total = s.trace_cache_hits + s.traces_run in
   if total = 0 then 0.0 else float_of_int s.trace_cache_hits /. float_of_int total
+
+let stats_to_json s =
+  let open Heimdall_json in
+  Json.Obj
+    [
+      ("traces_run", Json.Int s.traces_run);
+      ("trace_cache_hits", Json.Int s.trace_cache_hits);
+      ("dataplanes_built", Json.Int s.dataplanes_built);
+      ("dataplane_cache_hits", Json.Int s.dataplane_cache_hits);
+      ("trace_hit_rate", Json.Float (trace_hit_rate s));
+      ("domains_used", Json.Int s.domains_used);
+      ( "phase_seconds",
+        Json.Obj (List.map (fun (n, secs) -> (n, Json.Float secs)) s.phase_seconds) );
+    ]
 
 let render_stats s =
   let buf = Buffer.create 256 in

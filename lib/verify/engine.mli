@@ -25,10 +25,18 @@ open Heimdall_control
 
 type t
 
-val create : ?domains:int -> unit -> t
+val create : ?domains:int -> ?obs:Heimdall_obs.Obs.t -> unit -> t
 (** [create ~domains ()] makes an engine whose [map] uses up to
     [domains] domains (including the caller's).  Defaults to
-    {!default_domains}; values below 1 are clamped to 1. *)
+    {!default_domains}; values below 1 are clamped to 1.
+
+    With [?obs], the engine additionally streams its counters into the
+    context's metrics registry ([engine.trace.run] /
+    [engine.trace.cache_hit] / [engine.dataplane.built] /
+    [engine.dataplane.cache_hit], a [engine.dataplane.build_s]
+    histogram, an [engine.domains_used] gauge) and wraps each {!phase}
+    in a tracer span.  Observability never changes results — only the
+    \[stats\] and the registry. *)
 
 val default_domains : unit -> int
 (** [Domain.recommended_domain_count], capped to a small constant so a
@@ -36,6 +44,10 @@ val default_domains : unit -> int
 
 val domains : t -> int
 (** The pool size the engine was created with. *)
+
+val obs : t -> Heimdall_obs.Obs.t option
+(** The observability context the engine was created with, if any —
+    callers piggyback on it so one context covers a whole pipeline. *)
 
 val dataplane : t -> Network.t -> Dataplane.t
 (** Memoized {!Heimdall_control.Dataplane.compute}: one build per
@@ -60,8 +72,10 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
     this is exactly [List.map]. *)
 
 val phase : t -> string -> (unit -> 'a) -> 'a
-(** [phase t name f] runs [f] and adds its wall-clock seconds (clamped
-    at zero) to the [name] bucket of {!stats}. *)
+(** [phase t name f] runs [f] and adds its wall-clock seconds (measured
+    via {!Heimdall_obs.Clock.elapsed}, so clamped at zero) to the [name]
+    bucket of {!stats}; with an [?obs] context it is also a tracer span
+    and an [engine.phase_s.<name>] histogram sample. *)
 
 (** {1 Observability} *)
 
@@ -82,6 +96,10 @@ val reset_stats : t -> unit
 
 val trace_hit_rate : stats -> float
 (** Hits / (hits + runs), in [0, 1]; 0 when no traces ran. *)
+
+val stats_to_json : stats -> Heimdall_json.Json.t
+(** Machine-readable form, persisted by [bench/main.exe] into
+    [bench/report.json]. *)
 
 val render_stats : stats -> string
 (** Multi-line human-readable form, printed by [bench/main.exe]. *)

@@ -13,7 +13,11 @@ let addressed_hosts net =
            Option.map (fun a -> (n, a)) (Network.host_address n net)
          else None)
 
-let compute ?engine dp =
+let compute ?engine ?obs dp =
+  let obs =
+    match obs with Some _ -> obs | None -> Option.bind engine Engine.obs
+  in
+  Heimdall_obs.Obs.span obs "reachability.compute" (fun () ->
   let net = Dataplane.network dp in
   let hosts = addressed_hosts net in
   let pairs =
@@ -33,7 +37,10 @@ let compute ?engine dp =
   in
   let reach = Hashtbl.create (max 16 (List.length pairs)) in
   List.iter2 (fun (src, dst, _) ok -> Hashtbl.replace reach (src, dst) ok) pairs delivered;
-  { hosts; reach }
+  Heimdall_obs.Obs.add_attr obs "hosts" (string_of_int (List.length hosts));
+  Heimdall_obs.Obs.add_attr obs "pairs" (string_of_int (List.length pairs));
+  Heimdall_obs.Obs.incr obs ~by:(List.length pairs) "reachability.pairs_traced";
+  { hosts; reach })
 
 let reachable ~src ~dst m = Hashtbl.find_opt m.reach (src, dst)
 let pair_count m = Hashtbl.length m.reach
@@ -67,13 +74,16 @@ let impact_to_string i =
     let fmt sign (a, b) = Printf.sprintf "%s %s -> %s" sign a b in
     String.concat "\n" (List.map (fmt "+") i.gained @ List.map (fmt "-") i.lost)
 
-let impact_of_changes ?engine ~production changes =
+let impact_of_changes ?engine ?obs ~production changes =
   match Network.apply_changes changes production with
   | Error m -> Error m
   | Ok shadow ->
-      let dataplane net =
-        match engine with Some e -> Engine.dataplane e net | None -> Dataplane.compute net
-      in
-      let before = compute ?engine (dataplane production) in
-      let after = compute ?engine (dataplane shadow) in
-      Ok (diff ~before ~after)
+      Heimdall_obs.Obs.span obs "reachability.impact" (fun () ->
+          let dataplane net =
+            match engine with
+            | Some e -> Engine.dataplane e net
+            | None -> Dataplane.compute net
+          in
+          let before = compute ?engine ?obs (dataplane production) in
+          let after = compute ?engine ?obs (dataplane shadow) in
+          Ok (diff ~before ~after))

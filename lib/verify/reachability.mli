@@ -10,10 +10,12 @@ type matrix
 (** Host-pair ICMP reachability: for every ordered pair of addressed
     hosts, whether a flow is delivered. *)
 
-val compute : ?engine:Engine.t -> Dataplane.t -> matrix
+val compute : ?engine:Engine.t -> ?obs:Heimdall_obs.Obs.t -> Dataplane.t -> matrix
 (** One trace per ordered host pair.  With [?engine] the pairs fan out
     across the engine's domain pool and traces are memoized; the
-    resulting matrix is identical either way. *)
+    resulting matrix is identical either way.  With [?obs] (or an engine
+    carrying one) the computation is a tracer span with host/pair-count
+    attributes. *)
 
 val reachable : src:string -> dst:string -> matrix -> bool option
 (** [None] when either host is unknown/unaddressed. *)
@@ -35,6 +37,6 @@ val impact_to_string : impact -> string
 (** ["no reachability change"] or a +/- listing. *)
 
 val impact_of_changes :
-  ?engine:Engine.t ->
+  ?engine:Engine.t -> ?obs:Heimdall_obs.Obs.t ->
   production:Network.t -> Heimdall_config.Change.t list -> (impact, string) result
 (** Convenience: compute both matrices around a change set. *)

@@ -155,7 +155,7 @@ let test_verifier_accepts_benign () =
     [ Change.v "r4" (Change.Set_ospf_cost { iface = "eth0"; cost = Some 20 }) ]
   in
   let outcome =
-    Verifier.verify ~production:net ~policies ~privilege:Privilege.allow_all ~changes
+    Verifier.verify ~production:net ~policies ~privilege:Privilege.allow_all ~changes ()
   in
   checkb "accepted" true outcome.Verifier.accepted;
   checkb "shadow present" true (outcome.Verifier.shadow <> None)
@@ -168,7 +168,7 @@ let test_verifier_rejects_privilege_violation () =
   let changes =
     [ Change.v "r4" (Change.Set_ospf_cost { iface = "eth0"; cost = Some 20 }) ]
   in
-  let outcome = Verifier.verify ~production:net ~policies ~privilege ~changes in
+  let outcome = Verifier.verify ~production:net ~policies ~privilege ~changes () in
   checkb "rejected" false outcome.Verifier.accepted;
   match outcome.Verifier.rejections with
   | [ Verifier.Privilege_violation { action = "ospf.cost"; _ } ] -> ()
@@ -188,7 +188,7 @@ let test_verifier_rejects_policy_violation () =
     ]
   in
   let outcome =
-    Verifier.verify ~production:net ~policies ~privilege:Privilege.allow_all ~changes
+    Verifier.verify ~production:net ~policies ~privilege:Privilege.allow_all ~changes ()
   in
   checkb "rejected" false outcome.Verifier.accepted;
   checkb "policy violation" true
@@ -206,7 +206,7 @@ let test_verifier_allows_preexisting_violation () =
     [ Change.v "r9" (Change.Set_interface_description { iface = "eth0"; description = Some "x" }) ]
   in
   let outcome =
-    Verifier.verify ~production:broken ~policies ~privilege:Privilege.allow_all ~changes
+    Verifier.verify ~production:broken ~policies ~privilege:Privilege.allow_all ~changes ()
   in
   checkb "accepted despite broken policies" true outcome.Verifier.accepted
 
@@ -225,7 +225,7 @@ let test_verifier_reports_fixed_policies () =
   in
   let changes = [ Change.v "r7" (Change.Set_ospf_area { iface = uplink; area = Some 0 }) ] in
   let outcome =
-    Verifier.verify ~production:broken ~policies ~privilege:Privilege.allow_all ~changes
+    Verifier.verify ~production:broken ~policies ~privilege:Privilege.allow_all ~changes ()
   in
   checkb "accepted" true outcome.Verifier.accepted;
   checkb "repairs counted" true (List.length outcome.Verifier.fixed_policies > 0)
@@ -234,7 +234,7 @@ let test_verifier_apply_error () =
   let net, policies = fixture () in
   let changes = [ Change.v "r4" (Change.Acl_remove { acl = "GHOST" }) ] in
   let outcome =
-    Verifier.verify ~production:net ~policies ~privilege:Privilege.allow_all ~changes
+    Verifier.verify ~production:net ~policies ~privilege:Privilege.allow_all ~changes ()
   in
   checkb "rejected" false outcome.Verifier.accepted;
   checkb "apply error" true
@@ -254,7 +254,7 @@ let test_scheduler_orders_safely () =
       Change.v "r5" (Change.Set_ospf_cost { iface = "eth0"; cost = Some 20 });
     ]
   in
-  match Scheduler.plan ~production:net ~policies ~changes with
+  match Scheduler.plan ~production:net ~policies ~changes () with
   | Ok (plan, final) ->
       checkb "safe" true plan.Scheduler.safe;
       checki "two steps" 2 (List.length plan.Scheduler.steps);
@@ -277,7 +277,7 @@ let test_scheduler_defers_risky_change () =
       Change.v "r5" (Change.Set_ospf_cost { iface = "eth0"; cost = Some 15 });
     ]
   in
-  match Scheduler.plan ~production:net ~policies ~changes with
+  match Scheduler.plan ~production:net ~policies ~changes () with
   | Ok (plan, _) ->
       checkb "not safe overall" false plan.Scheduler.safe;
       (* The safe change must be scheduled first. *)
@@ -290,7 +290,7 @@ let test_scheduler_defers_risky_change () =
 
 let test_scheduler_empty () =
   let net, policies = fixture () in
-  match Scheduler.plan ~production:net ~policies ~changes:[] with
+  match Scheduler.plan ~production:net ~policies ~changes:[] () with
   | Ok (plan, final) ->
       checkb "safe" true plan.Scheduler.safe;
       checki "no steps" 0 (List.length plan.Scheduler.steps);

@@ -141,7 +141,7 @@ let prop_scheduler_equiv_batch =
       let changes =
         List.sort_uniq compare picks |> List.map (List.nth benign_changes)
       in
-      match Heimdall_enforcer.Scheduler.plan ~production:net ~policies ~changes with
+      match Heimdall_enforcer.Scheduler.plan ~production:net ~policies ~changes () with
       | Error _ -> false
       | Ok (plan, final) ->
           let batch = Result.get_ok (Network.apply_changes changes net) in
