@@ -1,7 +1,7 @@
 # CI entry points.  `make check` is what the pipeline runs on every
 # change: a full build plus the tier-1 test suite.
 
-.PHONY: check build test lint bench bench-smoke clean
+.PHONY: check build test lint bench bench-smoke chaos-smoke clean
 
 check: build test
 
@@ -25,6 +25,13 @@ bench:
 # section never clobbers the other).
 bench-smoke: build
 	dune exec bench/main.exe -- lint engine
+
+# Seeded fault-injection run over the enterprise issues: exits non-zero
+# unless every issue resolves with zero surviving policy violations and
+# a verifying audit trail, then persists the "chaos" report section.
+chaos-smoke: build
+	dune exec bin/heimdall_cli.exe -- chaos enterprise --seed 42
+	dune exec bench/main.exe -- chaos
 
 clean:
 	dune clean

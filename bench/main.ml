@@ -7,7 +7,8 @@
      dune exec bench/main.exe -- table1  # one artifact
      dune exec bench/main.exe -- fig7 | fig8 | fig9 | engine | lint
                                  | ablation-verify | ablation-slicer
-                                 | ablation-audit | containment | micro *)
+                                 | ablation-audit | containment | chaos
+                                 | micro *)
 
 open Bechamel
 open Toolkit
@@ -193,6 +194,73 @@ let report_campaign () =
   print_string (Campaign.render (Experiments.campaign ()));
   print_newline ()
 
+let report_chaos () =
+  print_string "== Chaos: seeded fault injection over the enterprise issues ==\n";
+  let seed = 42 in
+  let sc =
+    match Experiments.scenario_of_name "enterprise" with
+    | Some sc -> sc
+    | None -> assert false
+  in
+  let run_all domains =
+    let engine = Heimdall_verify.Engine.create ~domains () in
+    Heimdall_msp.Timing.elapsed (fun () ->
+        List.map
+          (fun issue -> Chaos.run ~engine ~scenario:sc ~issue ~seed ())
+          sc.Experiments.issues)
+  in
+  let results1, wall1 = run_all 1 in
+  let n = max 2 (Heimdall_verify.Engine.default_domains ()) in
+  let resultsn, walln = run_all n in
+  List.iter (fun r -> print_string (Chaos.render r)) resultsn;
+  let head (r : Chaos.result) =
+    Heimdall_enforcer.Audit.head r.Chaos.outcome.Heimdall_enforcer.Enforcer.audit
+  in
+  let deterministic =
+    List.equal (fun a b -> head a = head b) results1 resultsn
+  in
+  Printf.printf
+    "1 domain: %.3f s; %d domains: %.3f s; audit heads identical: %b\n" wall1 n
+    walln deterministic;
+  let open Heimdall_json in
+  persist_report ~key:"chaos"
+    (Json.Obj
+       [
+         ("seed", Json.Int seed);
+         ("wall_s_1_domain", Json.Float wall1);
+         ("wall_s_n_domains", Json.Float walln);
+         ("domains", Json.Int n);
+         ("deterministic_across_domains", Json.Bool deterministic);
+         ( "issues",
+           Json.List
+             (List.map
+                (fun (r : Chaos.result) ->
+                  let retries, rolled_back =
+                    match r.Chaos.outcome.Heimdall_enforcer.Enforcer.apply with
+                    | Some a ->
+                        ( List.length a.Heimdall_enforcer.Applier.retries,
+                          a.Heimdall_enforcer.Applier.rollback <> None )
+                    | None -> (0, false)
+                  in
+                  Json.Obj
+                    [
+                      ("issue", Json.String r.Chaos.issue);
+                      ("faults_fired", Json.Int (List.length r.Chaos.occurrences));
+                      ( "kinds",
+                        Json.List
+                          (List.map (fun k -> Json.String k) r.Chaos.kinds) );
+                      ("twin_retries", Json.Int r.Chaos.twin_retries);
+                      ("apply_retries", Json.Int retries);
+                      ("rolled_back", Json.Bool rolled_back);
+                      ( "surviving_violations",
+                        Json.Int (List.length r.Chaos.surviving_violations) );
+                      ("audit_head", Json.String (head r));
+                      ("passed", Json.Bool (Chaos.passed r));
+                    ])
+                resultsn) );
+       ]);
+  print_newline ()
+
 let report_containment () =
   print_string "== Attack containment (motivating incidents, paper section 2.2) ==\n";
   print_string (Experiments.render_containment (Experiments.attack_containment ()));
@@ -346,6 +414,7 @@ let reports =
     ("ablation-audit", report_ablation_audit);
     ("containment", report_containment);
     ("campaign", report_campaign);
+    ("chaos", report_chaos);
     ("micro", run_benchmarks);
   ]
 

@@ -10,6 +10,7 @@
      privilege  print the Privilege_msp generated for an issue's ticket
      sweep      the Figure-8/9 feasibility / attack-surface sweep
      experiment print a paper artifact (table1, fig7, fig8, fig9, ...)
+     chaos      replay an issue under a seeded fault plan, check recovery
      shell      interactive technician session (twin or --emergency)
      export     write a network to disk in the loader layout
      load       load + validate a network from disk, mine its policies
@@ -484,6 +485,71 @@ let audit_cmd =
     (Cmd.info "audit" ~doc:"Verify an exported audit trail (tamper check + listing)")
     Term.(const run $ file_arg)
 
+(* ---------------- chaos ---------------- *)
+
+let chaos_cmd =
+  let issue_opt_arg =
+    Arg.(
+      value
+      & pos 1 (some string) None
+      & info [] ~docv:"ISSUE"
+          ~doc:"Issue to run under faults: vlan, ospf or isp (default: all three).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Fault-plan seed; the same seed reproduces the same run bit for bit.")
+  in
+  let max_attempts_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "max-attempts" ] ~docv:"K"
+          ~doc:"Per-step retry budget for flaky commands and the transactional apply.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Engine domain pool (default: auto; verdicts do not depend on it).")
+  in
+  let run sc issue_name seed max_attempts trace_out metrics domains =
+    let issues =
+      match issue_name with
+      | None -> sc.Experiments.issues
+      | Some name -> (
+          match find_issue sc name with
+          | Ok i -> [ i ]
+          | Error m ->
+              prerr_endline m;
+              exit 1)
+    in
+    let obs =
+      if trace_out <> None || metrics then Some (Heimdall_obs.Obs.create ())
+      else None
+    in
+    let engine = Heimdall_verify.Engine.create ?domains ?obs () in
+    let results =
+      List.map
+        (fun issue -> Chaos.run ~engine ?max_attempts ~scenario:sc ~issue ~seed ())
+        issues
+    in
+    List.iter (fun r -> print_string (Chaos.render r)) results;
+    Option.iter (fun o -> dump_obs ?trace_out ~metrics o) obs;
+    if not (List.for_all Chaos.passed results) then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run an issue through the Heimdall workflow under a seeded fault plan \
+          (flaky devices, partial applies, link flaps, crashes, an enclave restart) \
+          and check that enforcement recovers; exit non-zero if any run fails")
+    Term.(
+      const run $ network_arg $ issue_opt_arg $ seed_arg $ max_attempts_arg
+      $ trace_out_arg $ metrics_flag $ domains_arg)
+
 (* ---------------- shell ---------------- *)
 
 let shell_cmd =
@@ -620,4 +686,5 @@ let () =
             shell_cmd;
             audit_cmd;
             obs_cmd;
+            chaos_cmd;
           ]))

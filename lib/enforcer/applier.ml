@@ -1,0 +1,208 @@
+open Heimdall_config
+open Heimdall_control
+open Heimdall_faults
+
+type retry = {
+  step : int;
+  attempt : int;
+  node : string;
+  reason : string;
+  backoff_ms : int;
+}
+
+type rollback = {
+  failed_step : int;
+  failure : string;
+  restored_digest : string;
+}
+
+type summary = {
+  network : Network.t;
+  committed : bool;
+  steps_applied : int;
+  retries : retry list;
+  rollback : rollback option;
+  audit : Audit.t;
+}
+
+let network_digest net =
+  Digest.to_hex (Digest.string (Marshal.to_string (net : Network.t) []))
+
+let default_max_attempts = 4
+
+let backoff_ms attempt = 50 * (1 lsl (attempt - 1))
+
+let short d = String.sub d 0 (min 12 (String.length d))
+
+(* One attempt of one step.  [Ok net] is the new production state;
+   [Error reason] leaves production untouched (a rejected or partially
+   applied command never commits — the device config transaction is the
+   unit of atomicity). *)
+let attempt_step ~injector ~step_index ~attempt ~current (step : Scheduler.step) =
+  let node = step.Scheduler.change.Change.node in
+  let faults =
+    match injector with
+    | None -> []
+    | Some inj -> Injector.on_attempt inj ~step:step_index ~attempt ~node
+  in
+  match Fault.blocks_command faults ~node with
+  | Some reason -> Error reason
+  | None ->
+      if List.exists (fun (f : Fault.t) -> f.Fault.kind = Fault.Enclave_restart) faults
+      then Error "injected fault: enclave restarted mid-apply; replaying from checkpoint"
+      else begin
+        match Network.apply_changes [ step.Scheduler.change ] current with
+        | Error m -> Error m
+        | Ok net ->
+            (* Partial application: the command timed out before the
+               device committed, so the true state is still [current]. *)
+            let landed =
+              if List.exists (fun (f : Fault.t) -> f.Fault.kind = Fault.Partial_apply) faults
+              then current
+              else net
+            in
+            (* Validate what the enforcer can observe: the true state
+               seen through any active environmental fault. *)
+            let observed =
+              Fault.degrade
+                (List.filter (fun (f : Fault.t) -> Fault.is_environmental f.Fault.kind) faults)
+                landed
+            in
+            let d_obs = network_digest observed in
+            let d_ck = network_digest step.Scheduler.checkpoint in
+            if d_obs = d_ck then Ok net
+            else
+              Error
+                (Printf.sprintf
+                   "post-apply state %s... does not match checkpoint %s..."
+                   (short d_obs) (short d_ck))
+      end
+
+let run ?injector ?(max_attempts = default_max_attempts) ?obs ~production ~plan
+    ~audit () =
+  let max_attempts = max 1 max_attempts in
+  Heimdall_obs.Obs.span obs "enforcer.apply"
+    ~attrs:[ ("steps", string_of_int (List.length plan.Scheduler.steps)) ]
+    (fun () ->
+      let retries = ref [] in
+      let rec steps_loop i current last_good audit = function
+        | [] ->
+            {
+              network = current;
+              committed = true;
+              steps_applied = i - 1;
+              retries = List.rev !retries;
+              rollback = None;
+              audit;
+            }
+        | (step : Scheduler.step) :: rest ->
+            let node = step.Scheduler.change.Change.node in
+            let rec attempts n audit =
+              match attempt_step ~injector ~step_index:i ~attempt:n ~current step with
+              | Ok net ->
+                  let audit =
+                    Audit.append ~actor:"enforcer" ~action:"apply" ~resource:node
+                      ~detail:(Change.to_string step.Scheduler.change)
+                      ~verdict:
+                        (if step.Scheduler.transient_violations = [] then "applied"
+                         else
+                           Printf.sprintf "applied (transient: %d)"
+                             (List.length step.Scheduler.transient_violations))
+                      audit
+                  in
+                  Ok (net, audit)
+              | Error reason when n < max_attempts ->
+                  let backoff = backoff_ms n in
+                  retries :=
+                    { step = i; attempt = n; node; reason; backoff_ms = backoff }
+                    :: !retries;
+                  Heimdall_obs.Obs.incr obs "enforcer.retry";
+                  Heimdall_obs.Obs.event obs "enforcer.retry"
+                    ~attrs:
+                      [
+                        ("step", string_of_int i);
+                        ("attempt", string_of_int n);
+                        ("node", node);
+                        ("reason", reason);
+                        ("backoff_ms", string_of_int backoff);
+                      ];
+                  let audit =
+                    Audit.append ~actor:"enforcer" ~action:"retry" ~resource:node
+                      ~detail:
+                        (Printf.sprintf "attempt %d/%d failed: %s (backoff %dms)" n
+                           max_attempts reason backoff)
+                      ~verdict:"transient" audit
+                  in
+                  attempts (n + 1) audit
+              | Error reason -> Error (reason, audit)
+            in
+            (match attempts 1 audit with
+            | Ok (net, audit) -> steps_loop (i + 1) net net audit rest
+            | Error (failure, audit) ->
+                (* Persistent failure: restore the last good checkpoint
+                   and abandon the rest of the plan. *)
+                let restored_digest = network_digest last_good in
+                Heimdall_obs.Obs.incr obs "enforcer.rollback";
+                Heimdall_obs.Obs.event obs "enforcer.rollback"
+                  ~attrs:
+                    [
+                      ("step", string_of_int i);
+                      ("node", node);
+                      ("failure", failure);
+                      ("restored", short restored_digest);
+                    ];
+                let audit =
+                  Audit.append ~actor:"enforcer" ~action:"apply" ~resource:node
+                    ~detail:(Change.to_string step.Scheduler.change)
+                    ~verdict:
+                      (Printf.sprintf "failed after %d attempts: %s" max_attempts
+                         failure)
+                    audit
+                in
+                let audit =
+                  Audit.append ~actor:"enforcer" ~action:"rollback"
+                    ~resource:"production"
+                    ~detail:
+                      (Printf.sprintf
+                         "step %d abandoned; restored checkpoint %s... (%d steps dropped)"
+                         i (short restored_digest) (List.length rest))
+                    ~verdict:"rolled-back" audit
+                in
+                {
+                  network = last_good;
+                  committed = false;
+                  steps_applied = i - 1;
+                  retries = List.rev !retries;
+                  rollback = Some { failed_step = i; failure; restored_digest };
+                  audit;
+                })
+      in
+      let s = steps_loop 1 production production audit plan.Scheduler.steps in
+      Heimdall_obs.Obs.add_attr obs "committed" (string_of_bool s.committed);
+      Heimdall_obs.Obs.add_attr obs "retries"
+        (string_of_int (List.length s.retries));
+      s)
+
+let summary_to_string s =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf
+    (Printf.sprintf "apply: %d step%s %s" s.steps_applied
+       (if s.steps_applied = 1 then "" else "s")
+       (if s.committed then "committed" else "applied, then rolled back"));
+  if s.retries <> [] then
+    Buffer.add_string buf (Printf.sprintf ", %d retr%s" (List.length s.retries)
+         (if List.length s.retries = 1 then "y" else "ies"));
+  Buffer.add_string buf "\n";
+  List.iter
+    (fun r ->
+      Buffer.add_string buf
+        (Printf.sprintf "  retry step %d attempt %d on %s: %s\n" r.step r.attempt
+           r.node r.reason))
+    s.retries;
+  (match s.rollback with
+  | None -> ()
+  | Some rb ->
+      Buffer.add_string buf
+        (Printf.sprintf "  ROLLBACK at step %d: %s (restored %s...)\n"
+           rb.failed_step rb.failure (short rb.restored_digest)));
+  Buffer.contents buf

@@ -1,0 +1,73 @@
+(** Transactional application of an approved plan to production.
+
+    The scheduler's plan carries a per-step {e checkpoint} — the network
+    production must match once the step lands.  The applier executes the
+    plan step by step against that contract:
+
+    - each attempt applies the step's change and compares the observed
+      state (the true network, degraded by any active environmental
+      fault) against the checkpoint by structural digest;
+    - a failed attempt — command rejected, partial application,
+      mid-apply enclave restart, or checkpoint mismatch — is retried
+      with (simulated) exponential backoff, up to [max_attempts];
+    - when a step exhausts its retries, production is rolled back to the
+      last good checkpoint and the remaining steps are abandoned.
+
+    Every retry and rollback is chained into the tamper-evident audit
+    trail ([retry]/[rollback] actions) and surfaced through the optional
+    {!Heimdall_obs.Obs.t} context as [enforcer.retry] /
+    [enforcer.rollback] metrics and events.  Without an injector no
+    fault can fire, every digest matches, and the appended audit records
+    are byte-identical to the pre-chaos enforcer's. *)
+
+open Heimdall_control
+
+type retry = {
+  step : int;  (** 1-based plan step index. *)
+  attempt : int;  (** The attempt that failed. *)
+  node : string;
+  reason : string;
+  backoff_ms : int;  (** Simulated backoff before the next attempt. *)
+}
+
+type rollback = {
+  failed_step : int;
+  failure : string;  (** Why the final attempt failed. *)
+  restored_digest : string;  (** Digest of the checkpoint restored. *)
+}
+
+type summary = {
+  network : Network.t;
+      (** Production after the run: the plan's final network when
+          [committed], the restored checkpoint after a rollback. *)
+  committed : bool;  (** Every step landed. *)
+  steps_applied : int;
+  retries : retry list;  (** Oldest first. *)
+  rollback : rollback option;
+  audit : Audit.t;  (** Input trail extended with apply records. *)
+}
+
+val network_digest : Network.t -> string
+(** Structural digest (hex) used for checkpoint comparison — equal
+    construction chains yield equal digests. *)
+
+val default_max_attempts : int
+(** 4: one initial try plus three retries, strictly above the longest
+    fault duration the seeded chaos plans generate, so transient faults
+    always clear within the budget. *)
+
+val run :
+  ?injector:Heimdall_faults.Injector.t ->
+  ?max_attempts:int ->
+  ?obs:Heimdall_obs.Obs.t ->
+  production:Network.t ->
+  plan:Scheduler.plan ->
+  audit:Audit.t ->
+  unit ->
+  summary
+(** Execute [plan] against [production].  With no [?injector] this
+    cannot fail: [committed] is true, [network] is byte-identical to the
+    scheduler's final network, and the only audit records appended are
+    the per-step [apply] records. *)
+
+val summary_to_string : summary -> string

@@ -124,20 +124,31 @@ let record_of_json json =
   Some { seq; actor; action; resource; detail; verdict; prev_hash; hash }
 
 let import text =
+  (* Number the lines of the original text *before* dropping blanks, so
+     a parse error reports the line's real position in the input.  A
+     trailing '\r' (CRLF input) is stripped from each line first. *)
   let lines =
-    String.split_on_char '\n' text |> List.filter (fun l -> String.trim l <> "")
+    String.split_on_char '\n' text
+    |> List.mapi (fun i l ->
+           let l =
+             if String.length l > 0 && l.[String.length l - 1] = '\r' then
+               String.sub l 0 (String.length l - 1)
+             else l
+           in
+           (i + 1, l))
+    |> List.filter (fun (_, l) -> String.trim l <> "")
   in
-  let rec parse acc lineno = function
+  let rec parse acc = function
     | [] -> Ok (List.rev acc)
-    | line :: rest -> (
+    | (lineno, line) :: rest -> (
         match Json.of_string_opt line with
         | None -> Error (Printf.sprintf "line %d: not valid JSON" lineno)
         | Some json -> (
             match record_of_json json with
             | None -> Error (Printf.sprintf "line %d: malformed audit record" lineno)
-            | Some r -> parse (r :: acc) (lineno + 1) rest))
+            | Some r -> parse (r :: acc) rest))
   in
-  match parse [] 1 lines with
+  match parse [] lines with
   | Error _ as e -> e
   | Ok rs -> (
       let t = { entries = List.rev rs; count = List.length rs } in

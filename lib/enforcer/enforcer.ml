@@ -6,6 +6,7 @@ type outcome = {
   rejections : Verifier.rejection list;
   plan : Scheduler.plan option;
   updated : Heimdall_control.Network.t option;
+  apply : Applier.summary option;
   fixed_policies : Policy.t list;
   impact : Reachability.impact option;
   lint_findings : Heimdall_lint.Diagnostic.t list;
@@ -35,8 +36,8 @@ let lint_delta ?engine ?obs emulation =
     (fun d -> not (List.exists (Diagnostic.equal d) baseline))
     current
 
-let process ?(enclave = default_enclave) ?engine ?obs ~production ~policies
-    ~privilege ~session () =
+let process ?(enclave = default_enclave) ?engine ?obs ?injector ?max_attempts
+    ~production ~policies ~privilege ~session () =
   let obs =
     match obs with Some _ -> obs | None -> Option.bind engine Engine.obs
   in
@@ -110,6 +111,7 @@ let process ?(enclave = default_enclave) ?engine ?obs ~production ~policies
       rejections = verdict.rejections;
       plan = None;
       updated = None;
+      apply = None;
       fixed_policies = verdict.fixed_policies;
       impact = None;
       lint_findings;
@@ -131,6 +133,7 @@ let process ?(enclave = default_enclave) ?engine ?obs ~production ~policies
           rejections = [ Verifier.Apply_error m ];
           plan = None;
           updated = None;
+          apply = None;
           fixed_policies = verdict.fixed_policies;
           impact = None;
           lint_findings;
@@ -150,20 +153,20 @@ let process ?(enclave = default_enclave) ?engine ?obs ~production ~policies
                 ~before:(Reachability.compute ?engine ?obs (dataplane production))
                 ~after:(Reachability.compute ?engine ?obs (dataplane updated)))
         in
-        let audit =
-          List.fold_left
-            (fun audit (s : Scheduler.step) ->
-              Audit.append ~actor:"enforcer" ~action:"apply"
-                ~resource:s.change.Change.node
-                ~detail:(Change.to_string s.change)
-                ~verdict:
-                  (if s.transient_violations = [] then "applied"
-                   else
-                     Printf.sprintf "applied (transient: %d)"
-                       (List.length s.transient_violations))
-                audit)
-            audit plan.steps
+        (* Transactional push to production: per-step checkpoint
+           validation, retry with backoff, rollback on persistent
+           failure.  Without an injector this appends exactly the
+           per-step "apply" records and lands on the scheduler's final
+           network. *)
+        let apply =
+          Applier.run ?injector ?max_attempts ?obs ~production ~plan ~audit ()
         in
+        let audit = apply.Applier.audit in
+        (* The committed state: byte-identical to the scheduler's final
+           network when the plan landed; the restored checkpoint after a
+           rollback (the pre-computed [impact] then describes the plan
+           that was abandoned — [apply.committed] disambiguates). *)
+        let updated = apply.Applier.network in
         let audit =
           Audit.append ~actor:"enforcer" ~action:"verify" ~resource:"production"
             ~detail:
@@ -179,6 +182,7 @@ let process ?(enclave = default_enclave) ?engine ?obs ~production ~policies
           rejections = [];
           plan = Some plan;
           updated = Some updated;
+          apply = Some apply;
           fixed_policies = verdict.fixed_policies;
           impact = Some impact;
           lint_findings;
@@ -196,6 +200,10 @@ let outcome_to_string o =
   (match o.plan with
   | Some p -> Buffer.add_string buf (Scheduler.plan_to_string p)
   | None -> ());
+  (match o.apply with
+  | Some a when a.Applier.retries <> [] || a.Applier.rollback <> None ->
+      Buffer.add_string buf (Applier.summary_to_string a)
+  | Some _ | None -> ());
   (match o.impact with
   | Some i -> Buffer.add_string buf ("impact: " ^ Reachability.impact_to_string i ^ "\n")
   | None -> ());

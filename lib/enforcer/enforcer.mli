@@ -14,7 +14,13 @@ type outcome = {
   approved : bool;
   rejections : Verifier.rejection list;
   plan : Scheduler.plan option;  (** Present iff approved. *)
-  updated : Network.t option;  (** Production after import, iff approved. *)
+  updated : Network.t option;
+      (** Production after import, iff approved: the plan's final
+          network when [apply] committed, the restored checkpoint when
+          it rolled back. *)
+  apply : Applier.summary option;
+      (** The transactional-apply record (retries, rollback, final
+          state), iff approved. *)
   fixed_policies : Policy.t list;
   impact : Reachability.impact option;
       (** Host-pair reachability delta of the import, iff approved. *)
@@ -34,6 +40,8 @@ val process :
   ?enclave:Enclave.t ->
   ?engine:Engine.t ->
   ?obs:Heimdall_obs.Obs.t ->
+  ?injector:Heimdall_faults.Injector.t ->
+  ?max_attempts:int ->
   production:Network.t ->
   policies:Policy.t list ->
   privilege:Privilege.t ->
@@ -42,6 +50,14 @@ val process :
   outcome
 (** Run the pipeline.  On rejection, [updated] is [None] and production
     is untouched.
+
+    With [?injector] the approved plan is pushed through the
+    transactional {!Applier} under that fault plan ([?max_attempts]
+    bounds the per-step retry budget, default
+    {!Applier.default_max_attempts}); retries and rollbacks land in the
+    audit trail and in [apply].  Without one, the applier is a no-op
+    pass-through and the outcome is byte-identical to the pre-chaos
+    enforcer's.
 
     With [?engine] the verify/schedule/impact stages share the engine's
     memoized dataplanes and domain pool.  With [?obs] (or an engine

@@ -2,13 +2,13 @@ open Heimdall_config
 open Heimdall_control
 open Heimdall_verify
 
-type step = { change : Change.t; transient_violations : (Policy.t * string) list }
-type plan = { steps : step list; safe : bool }
+type step = {
+  change : Change.t;
+  transient_violations : (Policy.t * string) list;
+  checkpoint : Network.t;
+}
 
-let new_violations ?engine ~held dp policies =
-  (* Violations among policies that currently hold. *)
-  let report = Policy.check_all ?engine dp policies in
-  List.filter (fun (p, _) -> List.exists (Policy.equal p) held) report.violations
+type plan = { steps : step list; safe : bool }
 
 let plan ?engine ?obs ~production ~policies ~changes () =
   let obs =
@@ -22,24 +22,36 @@ let plan ?engine ?obs ~production ~policies ~changes () =
     | Some e -> Engine.dataplane e net
     | None -> Dataplane.compute net
   in
-  let held_on net =
-    let report = Policy.check_all ?engine (dataplane net) policies in
+  let check net = Policy.check_all ?engine (dataplane net) policies in
+  let held_of (report : Policy.report) =
     List.filter
       (fun p -> not (List.exists (fun (q, _) -> Policy.equal p q) report.violations))
       policies
   in
-  let rec go current remaining steps =
+  (* [held] is threaded through the loop: the chosen candidate's full
+     report already describes the next intermediate network, so each
+     iteration reuses it instead of re-running the policy check from
+     scratch.  Plans are byte-identical to the recompute-every-time
+     version — [held_of report] on the winner's report equals [held_on]
+     of the network it was computed from. *)
+  let rec go current held remaining steps =
     match remaining with
-    | [] -> Ok ({ steps = List.rev steps; safe = List.for_all (fun s -> s.transient_violations = []) (List.rev steps) }, current)
+    | [] ->
+        let steps = List.rev steps in
+        Ok ({ steps; safe = List.for_all (fun s -> s.transient_violations = []) steps }, current)
     | _ ->
-        let held = held_on current in
         (* Evaluate each candidate's transient damage. *)
         let evaluate c =
           match Network.apply_changes [ c ] current with
           | Error m -> Error m
           | Ok net ->
-              let damage = new_violations ?engine ~held (dataplane net) policies in
-              Ok (c, net, damage)
+              let report = check net in
+              let damage =
+                List.filter
+                  (fun (p, _) -> List.exists (Policy.equal p) held)
+                  report.Policy.violations
+              in
+              Ok (c, net, report, damage)
         in
         let rec eval_all acc = function
           | [] -> Ok (List.rev acc)
@@ -52,24 +64,31 @@ let plan ?engine ?obs ~production ~policies ~changes () =
         | Error m -> Error m
         | Ok candidates ->
             (* Prefer the first zero-damage candidate (stable order keeps
-               the plan deterministic); otherwise the least-damage one. *)
+               the plan deterministic); otherwise the least-damage one.
+               Selection is by index so that removing the winner drops
+               exactly one occurrence — a change value duplicated in the
+               list is scheduled once per occurrence, not collapsed. *)
+            let indexed = List.mapi (fun i c -> (i, c)) candidates in
             let best =
-              match List.find_opt (fun (_, _, d) -> d = []) candidates with
+              match List.find_opt (fun (_, (_, _, _, d)) -> d = []) indexed with
               | Some c -> c
               | None ->
                   List.fold_left
                     (fun acc c ->
-                      let _, _, d = c and _, _, da = acc in
+                      let _, (_, _, _, d) = c and _, (_, _, _, da) = acc in
                       if List.length d < List.length da then c else acc)
-                    (List.hd candidates) (List.tl candidates)
+                    (List.hd indexed) (List.tl indexed)
             in
-            let c, net, damage = best in
-            let remaining' =
-              List.filter (fun c' -> not (c' == c)) remaining
-            in
-            go net remaining' ({ change = c; transient_violations = damage } :: steps))
+            let idx, (c, net, report, damage) = best in
+            let remaining' = List.filteri (fun i _ -> i <> idx) remaining in
+            go net (held_of report) remaining'
+              ({ change = c; transient_violations = damage; checkpoint = net } :: steps))
   in
-  let result = go production changes [] in
+  let result =
+    match changes with
+    | [] -> Ok ({ steps = []; safe = true }, production)
+    | _ -> go production (held_of (check production)) changes []
+  in
   (match result with
   | Ok (p, _) ->
       Heimdall_obs.Obs.add_attr obs "safe" (string_of_bool p.safe);

@@ -17,6 +17,11 @@ type step = {
   change : Change.t;
   transient_violations : (Policy.t * string) list;
       (** Policies that break while this step is the latest applied. *)
+  checkpoint : Network.t;
+      (** The planned network after this step — the transactional
+          applier's per-step checkpoint: what production must look like
+          once the step lands (detects partial application by digest
+          comparison) and what a rollback restores to. *)
 }
 
 type plan = {
@@ -30,9 +35,12 @@ val plan :
   unit ->
   (plan * Network.t, string) result
 (** Compute the order and the final network.  Fails only if some change
-    cannot apply at all.  With [?engine] intermediate dataplanes come
-    from its memo cache; with [?obs] (or an engine carrying one) the
-    stage is an [enforcer.schedule] span and the outcome is recorded as
-    a [schedule.decision] event.  The plan is identical either way. *)
+    cannot apply at all.  Every occurrence in [changes] yields exactly
+    one step — a change value appearing twice is scheduled twice (the
+    winner is removed from the pool by position, not by equality).  With
+    [?engine] intermediate dataplanes come from its memo cache; with
+    [?obs] (or an engine carrying one) the stage is an
+    [enforcer.schedule] span and the outcome is recorded as a
+    [schedule.decision] event.  The plan is identical either way. *)
 
 val plan_to_string : plan -> string

@@ -1,0 +1,137 @@
+open Heimdall_net
+open Heimdall_control
+
+type kind =
+  | Link_down of Topology.endpoint
+  | Device_crash of string
+  | Partial_apply
+  | Flaky_command
+  | Enclave_restart
+
+type stage = Twin | Apply
+
+type t = { kind : kind; stage : stage; at : int; duration : int }
+
+let kind_name = function
+  | Link_down _ -> "link-down"
+  | Device_crash _ -> "device-crash"
+  | Partial_apply -> "partial-apply"
+  | Flaky_command -> "flaky-command"
+  | Enclave_restart -> "enclave-restart"
+
+let stage_name = function Twin -> "twin" | Apply -> "apply"
+
+let to_string f =
+  let target =
+    match f.kind with
+    | Link_down e -> " " ^ Topology.endpoint_to_string e
+    | Device_crash n -> " " ^ n
+    | Partial_apply | Flaky_command | Enclave_restart -> ""
+  in
+  Printf.sprintf "%s%s at %s step %d (duration %d)" (kind_name f.kind) target
+    (stage_name f.stage) f.at f.duration
+
+let is_environmental = function
+  | Link_down _ | Device_crash _ -> true
+  | Partial_apply | Flaky_command | Enclave_restart -> false
+
+(* The degraded view: the true network stays untouched, so a fault that
+   expires recovers by simply no longer being overlaid. *)
+let degrade faults net =
+  List.fold_left
+    (fun net f ->
+      match f.kind with
+      | Link_down ep ->
+          Network.make
+            (Topology.remove_link ep (Network.topology net))
+            (Network.configs net)
+      | Device_crash node ->
+          let survivors =
+            List.filter (fun n -> n <> node) (Network.node_names net)
+          in
+          if List.length survivors = List.length (Network.node_names net) then net
+          else Network.restrict survivors net
+      | Partial_apply | Flaky_command | Enclave_restart -> net)
+    net faults
+
+let blocks_command faults ~node =
+  List.find_map
+    (fun f ->
+      match f.kind with
+      | Device_crash n when n = node ->
+          Some (Printf.sprintf "injected fault: device %s crashed" node)
+      | Flaky_command ->
+          Some (Printf.sprintf "injected fault: %s rejected the command" node)
+      | _ -> None)
+    faults
+
+(* ------------------------------------------------------------------ *)
+(* Seeded plan generation                                              *)
+(* ------------------------------------------------------------------ *)
+
+(* Separate stream tags keep the twin and apply plans independent of
+   each other (the apply plan does not shift when the fix script grows). *)
+let twin_tag = 0x7719
+let apply_tag = 0xA551
+
+let for_twin ~seed ~edits =
+  if edits <= 0 then []
+  else begin
+    let st = Random.State.make [| twin_tag; seed |] in
+    let fault () =
+      {
+        kind = Flaky_command;
+        stage = Twin;
+        at = 1 + Random.State.int st edits;
+        duration = 1 + Random.State.int st 2;
+      }
+    in
+    let first = fault () in
+    if edits < 3 then [ first ]
+    else
+      let second = fault () in
+      if second.at = first.at then [ first ]
+      else List.sort (fun a b -> compare a.at b.at) [ first; second ]
+  end
+
+let for_apply ~seed ~network ~steps =
+  if steps <= 0 then []
+  else begin
+    let st = Random.State.make [| apply_tag; seed |] in
+    let topo = Network.topology network in
+    let is_host n =
+      match Topology.node n topo with
+      | Some { Topology.kind = Topology.Host; _ } -> true
+      | _ -> false
+    in
+    let pick_step () = 1 + Random.State.int st steps in
+    (* Durations stay below the applier's retry budget so every
+       environmental fault clears before the retries run out. *)
+    let pick_duration () = 1 + Random.State.int st 2 in
+    let faults = ref [] in
+    let add kind duration =
+      faults := { kind; stage = Apply; at = pick_step (); duration } :: !faults
+    in
+    add Partial_apply (pick_duration ());
+    (* A link flap on an infrastructure link (both ends non-host). *)
+    let infra =
+      List.filter
+        (fun (l : Topology.link) ->
+          (not (is_host l.Topology.a.Topology.node))
+          && not (is_host l.Topology.b.Topology.node))
+        (Topology.links topo)
+    in
+    (match infra with
+    | [] -> ()
+    | ls ->
+        let l = List.nth ls (Random.State.int st (List.length ls)) in
+        let ep = if Random.State.bool st then l.Topology.a else l.Topology.b in
+        add (Link_down ep) (pick_duration ()));
+    (* A crash of a non-host device. *)
+    let devices = List.filter (fun n -> not (is_host n)) (Topology.node_names topo) in
+    (match devices with
+    | [] -> ()
+    | ds -> add (Device_crash (List.nth ds (Random.State.int st (List.length ds)))) 1);
+    add Enclave_restart 1;
+    List.stable_sort (fun a b -> compare a.at b.at) (List.rev !faults)
+  end

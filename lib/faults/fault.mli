@@ -1,0 +1,81 @@
+(** Deterministic, seeded fault plans for chaos testing.
+
+    A fault plan is generated once, ahead of execution, from a seed — the
+    same seed always yields the same plan, so a chaos run is perfectly
+    reproducible: identical fault sequence, identical audit trail and
+    identical final verdicts at any engine domain count.
+
+    Faults fire at two stages of the pipeline:
+
+    - {b Twin} faults hit the twin's emulation layer while the technician
+      replays the fix script (a flaky device rejecting a configuration
+      edit a bounded number of times).
+    - {b Apply} faults hit the enforcer's transactional apply while the
+      scheduled plan is pushed into production: environmental damage
+      (link down / device crash) degrades the network the applier
+      verifies against, partial application silently drops a step's
+      change, and an enclave restart interrupts the enforcer itself.
+
+    Every fault is {e bounded}: a [duration] counts the attempts it stays
+    active within its step, after which it clears (the link comes back
+    up, the crashed device reboots).  Bounded faults plus the applier's
+    bounded retry guarantee the pipeline either recovers or rolls back —
+    it never wedges. *)
+
+open Heimdall_net
+open Heimdall_control
+
+type kind =
+  | Link_down of Topology.endpoint
+      (** The cable at this endpoint is unplugged while active; it comes
+          back up (link up) when the fault expires. *)
+  | Device_crash of string  (** The device vanishes while active. *)
+  | Partial_apply
+      (** The device reports success but the step's change silently does
+          not take effect — detected by checkpoint digest comparison. *)
+  | Flaky_command
+      (** The device rejects a twin configuration edit while active. *)
+  | Enclave_restart
+      (** The enforcer's enclave restarts between plan steps; it must
+          re-attest and keep going. *)
+
+type stage = Twin | Apply
+
+type t = {
+  kind : kind;
+  stage : stage;
+  at : int;  (** 1-based twin edit index or apply plan-step index. *)
+  duration : int;  (** Attempts the fault stays active within its step. *)
+}
+
+val kind_name : kind -> string
+(** Short stable name: ["link-down"], ["device-crash"], ... *)
+
+val to_string : t -> string
+
+val is_environmental : kind -> bool
+(** Link and device faults — the ones that degrade the observed network. *)
+
+val degrade : t list -> Network.t -> Network.t
+(** Overlay the active environmental faults onto a network: unplug downed
+    links ({!Heimdall_net.Topology.remove_link}) and remove crashed
+    devices ({!Heimdall_control.Network.restrict}).  Pure — the true
+    network is never mutated, so expired faults recover for free. *)
+
+val blocks_command : t list -> node:string -> string option
+(** [Some reason] when an active fault makes a command against [node]
+    fail outright (the device crashed, or a flaky-command fault). *)
+
+val for_twin : seed:int -> edits:int -> t list
+(** Twin-stage plan for a fix script with [edits] configuration edits:
+    one or two flaky-command faults at seeded positions (empty when
+    [edits <= 0]). *)
+
+val for_apply : seed:int -> network:Network.t -> steps:int -> t list
+(** Apply-stage plan for a [steps]-step schedule over [network]: one
+    fault of every apply-stage kind at seeded steps — a partial
+    application, a link flap on a seeded infrastructure link, a crash of
+    a seeded non-host device, and an enclave restart — each with a
+    bounded seeded duration (empty when [steps <= 0]).  Guarantees at
+    least three distinct fault kinds for any seed on any network with an
+    infrastructure link. *)

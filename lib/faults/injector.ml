@@ -1,0 +1,89 @@
+type occurrence = { fault : Fault.t; step : int; node : string }
+
+let occurrence_to_string o =
+  Printf.sprintf "step %d: %s%s" o.step
+    (Fault.kind_name o.fault.Fault.kind)
+    (if o.node = "-" then "" else " on " ^ o.node)
+
+type t = {
+  mutable faults : Fault.t list;
+  obs : Heimdall_obs.Obs.t option;
+  mutable fired : occurrence list;  (* newest first *)
+  (* Twin-stage state: index of the configuration edit in flight and how
+     many more attempts of it must still fail. *)
+  mutable twin_edit : int;
+  mutable twin_in_flight : bool;
+  mutable twin_pending : int;
+}
+
+let create ?obs faults =
+  { faults; obs; fired = []; twin_edit = 0; twin_in_flight = false; twin_pending = 0 }
+
+let add_faults t fs = t.faults <- t.faults @ fs
+let faults t = t.faults
+let occurrences t = List.rev t.fired
+
+let record t fault ~step ~node =
+  if
+    List.exists (fun o -> o.fault == fault && o.step = step) t.fired
+  then ()
+  else begin
+  t.fired <- { fault; step; node } :: t.fired;
+  Heimdall_obs.Obs.incr t.obs "fault.injected";
+  Heimdall_obs.Obs.event t.obs "fault.injected"
+    ~attrs:
+      [
+        ("kind", Fault.kind_name fault.Fault.kind);
+        ("stage", (match fault.Fault.stage with Fault.Twin -> "twin" | Fault.Apply -> "apply"));
+        ("step", string_of_int step);
+        ("node", node);
+      ]
+  end
+
+let fault_node (f : Fault.t) ~default =
+  match f.Fault.kind with
+  | Fault.Link_down ep -> ep.Heimdall_net.Topology.node
+  | Fault.Device_crash n -> n
+  | Fault.Partial_apply | Fault.Flaky_command -> default
+  | Fault.Enclave_restart -> "-"
+
+let on_attempt t ~step ~attempt ~node =
+  let active =
+    List.filter
+      (fun (f : Fault.t) ->
+        f.Fault.stage = Fault.Apply && f.Fault.at = step
+        && attempt <= f.Fault.duration
+        (* A restart is a point event at the step boundary, not a
+           condition that persists across retries. *)
+        && (f.Fault.kind <> Fault.Enclave_restart || attempt = 1))
+      t.faults
+  in
+  if attempt = 1 then
+    List.iter (fun f -> record t f ~step ~node:(fault_node f ~default:node)) active;
+  active
+
+let twin_fault_at t idx =
+  List.find_opt
+    (fun (f : Fault.t) -> f.Fault.stage = Fault.Twin && f.Fault.at = idx)
+    t.faults
+
+let twin_hook t ~node =
+  if t.twin_in_flight then
+    if t.twin_pending > 0 then begin
+      t.twin_pending <- t.twin_pending - 1;
+      Some (Printf.sprintf "injected fault: %s rejected the command (retry pending)" node)
+    end
+    else begin
+      t.twin_in_flight <- false;
+      None
+    end
+  else begin
+    t.twin_edit <- t.twin_edit + 1;
+    match twin_fault_at t t.twin_edit with
+    | Some f ->
+        t.twin_in_flight <- true;
+        t.twin_pending <- f.Fault.duration - 1;
+        record t f ~step:t.twin_edit ~node;
+        Some (Printf.sprintf "injected fault: %s rejected the command" node)
+    | None -> None
+  end

@@ -1,0 +1,50 @@
+(** The fault injector: the mutable runtime counterpart of a {!Fault}
+    plan.
+
+    One injector serves both stages of a chaos run — the twin session
+    (through {!twin_hook}) and the enforcer's transactional apply
+    (through {!on_attempt}).  Because the plan is fixed up front and
+    every query is a pure function of (step, attempt), two runs with the
+    same seed observe the same faults in the same order: the
+    {!occurrences} log, the audit trail and the final verdicts are all
+    byte-identical, at any engine domain count.
+
+    Each fired fault is counted as a [fault.injected] metric and emitted
+    as a [fault.injected] structured event on the optional
+    {!Heimdall_obs.Obs.t} context. *)
+
+type occurrence = {
+  fault : Fault.t;
+  step : int;  (** Twin edit index or apply step index where it fired. *)
+  node : string;  (** Device it hit (["-"] when not device-scoped). *)
+}
+
+val occurrence_to_string : occurrence -> string
+
+type t
+
+val create : ?obs:Heimdall_obs.Obs.t -> Fault.t list -> t
+
+val add_faults : t -> Fault.t list -> unit
+(** Extend the plan (used to append the apply-stage plan once the
+    schedule length is known, after the twin session ran). *)
+
+val faults : t -> Fault.t list
+
+val occurrences : t -> occurrence list
+(** Every fault that actually fired, oldest first. *)
+
+val on_attempt : t -> step:int -> attempt:int -> node:string -> Fault.t list
+(** Apply-stage faults active while executing [attempt] of plan step
+    [step] (whose change targets [node]).  A fault with [at = step] is
+    active for attempts [1..duration]; its first attempt records an
+    {!occurrence}.  Deterministic: repeated calls with the same
+    coordinates return the same list (without re-recording). *)
+
+val twin_hook : t -> node:string -> string option
+(** Emulation-layer hook for twin-stage faults: consulted once per
+    configuration-edit attempt; [Some reason] fails the edit.  A flaky
+    fault at edit index [i] fails the first [duration] attempts of that
+    edit, then clears.  The driver must retry a failed edit before
+    issuing the next one (the hook distinguishes retries from fresh
+    edits by whether the previous edit succeeded). *)

@@ -106,6 +106,19 @@ let to_graph t =
 let remove_link e t =
   { t with links = List.filter (fun l -> not (endpoint_equal l.a e || endpoint_equal l.b e)) t.links }
 
+let links_of name t =
+  List.filter (fun l -> l.a.node = name || l.b.node = name) t.links
+
+let link_between n1 n2 t =
+  let joins l = (l.a.node = n1 && l.b.node = n2) || (l.a.node = n2 && l.b.node = n1) in
+  List.find_opt joins t.links
+
+let remove_node name t =
+  {
+    nodes = Smap.remove name t.nodes;
+    links = List.filter (fun l -> l.a.node <> name && l.b.node <> name) t.links;
+  }
+
 let validate t =
   let seen = Hashtbl.create 64 in
   let check_endpoint e =

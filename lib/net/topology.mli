@@ -63,6 +63,16 @@ val to_graph : t -> link Graph.t
 val remove_link : endpoint -> t -> t
 (** Unplug the cable attached to an endpoint, if any. *)
 
+val links_of : string -> t -> link list
+(** Links with at least one endpoint on the named node. *)
+
+val link_between : string -> string -> t -> link option
+(** The first cable joining two nodes, if any. *)
+
+val remove_node : string -> t -> t
+(** Drop a node and every link touching it (fault modelling: the device
+    vanished).  A no-op on an unknown node. *)
+
 val validate : t -> (unit, string) result
 (** Check structural invariants (each interface wired at most once, link
     endpoints exist).  Well-formed values built through this API always

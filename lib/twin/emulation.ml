@@ -7,10 +7,11 @@ type t = {
   baseline : Network.t;
   mutable dataplane : Dataplane.t option;
   mutable reloads : int;
+  mutable fault_hook : (node:string -> string option) option;
 }
 
 let create_unchecked network =
-  { network; baseline = network; dataplane = None; reloads = 0 }
+  { network; baseline = network; dataplane = None; reloads = 0; fault_hook = None }
 
 let create network =
   List.iter
@@ -34,13 +35,18 @@ let dataplane t =
 
 let invalidate t = t.dataplane <- None
 
+let set_fault_hook t hook = t.fault_hook <- hook
+
 let apply t ~node op =
-  match Network.apply_changes [ Change.v node op ] t.network with
-  | Error _ as e -> e
-  | Ok net ->
-      t.network <- net;
-      invalidate t;
-      Ok ()
+  match match t.fault_hook with Some h -> h ~node | None -> None with
+  | Some reason -> Error reason
+  | None -> (
+      match Network.apply_changes [ Change.v node op ] t.network with
+      | Error _ as e -> e
+      | Ok net ->
+          t.network <- net;
+          invalidate t;
+          Ok ())
 
 let erase t ~node =
   match Network.config node t.network with

@@ -30,6 +30,13 @@ val dataplane : t -> Dataplane.t
 val apply : t -> node:string -> Change.op -> (unit, string) result
 (** Apply one configuration edit to a device. *)
 
+val set_fault_hook : t -> (node:string -> string option) option -> unit
+(** Chaos hook: when set, the hook is consulted before every
+    configuration edit; returning [Some reason] makes the edit fail with
+    that message (a flaky device), leaving the emulated state untouched.
+    The fault-injection layer supplies deterministic seeded hooks; the
+    default is no hook. *)
+
 val erase : t -> node:string -> unit
 (** Wipe a device's config (addresses, ACLs, routes, OSPF, VLANs) — what
     the careless-technician command does. *)

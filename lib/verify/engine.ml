@@ -15,6 +15,7 @@ type t = {
   trace_hits : int Atomic.t;
   dp_built : int Atomic.t;
   dp_hits : int Atomic.t;
+  spawn_fallbacks : int Atomic.t;
   mutable domains_used : int;
   mutable phases : (string * float) list;  (* reverse first-use order *)
 }
@@ -37,6 +38,7 @@ let create ?domains ?obs () =
     trace_hits = Atomic.make 0;
     dp_built = Atomic.make 0;
     dp_hits = Atomic.make 0;
+    spawn_fallbacks = Atomic.make 0;
     domains_used = 1;
     phases = [];
   }
@@ -115,6 +117,25 @@ let trace t dp flow =
 (* Parallel map                                                        *)
 (* ------------------------------------------------------------------ *)
 
+let fail_spawn_for_tests = ref false
+
+(* [Domain.spawn] can fail on a loaded host (thread/domain limits).  The
+   work queue below is shared, so the caller's own worker drains every
+   item regardless of how many helpers actually started — a failed spawn
+   degrades throughput, never correctness. *)
+let spawn_worker t worker =
+  match
+    if !fail_spawn_for_tests then failwith "injected spawn failure"
+    else Domain.spawn worker
+  with
+  | d -> Some d
+  | exception _ ->
+      Atomic.incr t.spawn_fallbacks;
+      Heimdall_obs.Obs.incr t.obs "engine.map.spawn_fallback";
+      Heimdall_obs.Obs.set_gauge t.obs "engine.spawn_fallbacks"
+        (float_of_int (Atomic.get t.spawn_fallbacks));
+      None
+
 let map t f xs =
   let arr = Array.of_list xs in
   let n = Array.length arr in
@@ -140,10 +161,13 @@ let map t f xs =
           done
       done
     in
-    let others = Array.init (pool - 1) (fun _ -> Domain.spawn worker) in
+    let others = Array.init (pool - 1) (fun _ -> spawn_worker t worker) in
     (* Join the pool even if our own share raises, then let [join]
        re-raise any worker failure. *)
-    Fun.protect ~finally:(fun () -> Array.iter Domain.join others) worker;
+    Fun.protect
+      ~finally:(fun () ->
+        Array.iter (function Some d -> Domain.join d | None -> ()) others)
+      worker;
     Array.to_list (Array.map Option.get out)
   end
 
@@ -169,6 +193,7 @@ type stats = {
   dataplanes_built : int;
   dataplane_cache_hits : int;
   domains_used : int;
+  spawn_fallbacks : int;
   phase_seconds : (string * float) list;
 }
 
@@ -180,6 +205,7 @@ let stats t =
         dataplanes_built = Atomic.get t.dp_built;
         dataplane_cache_hits = Atomic.get t.dp_hits;
         domains_used = t.domains_used;
+        spawn_fallbacks = Atomic.get t.spawn_fallbacks;
         phase_seconds = List.rev t.phases;
       })
 
@@ -189,6 +215,7 @@ let reset_stats t =
       Atomic.set t.trace_hits 0;
       Atomic.set t.dp_built 0;
       Atomic.set t.dp_hits 0;
+      Atomic.set t.spawn_fallbacks 0;
       t.domains_used <- 1;
       t.phases <- [])
 
@@ -206,6 +233,7 @@ let stats_to_json s =
       ("dataplane_cache_hits", Json.Int s.dataplane_cache_hits);
       ("trace_hit_rate", Json.Float (trace_hit_rate s));
       ("domains_used", Json.Int s.domains_used);
+      ("spawn_fallbacks", Json.Int s.spawn_fallbacks);
       ( "phase_seconds",
         Json.Obj (List.map (fun (n, secs) -> (n, Json.Float secs)) s.phase_seconds) );
     ]
@@ -218,6 +246,10 @@ let render_stats s =
        s.domains_used s.dataplanes_built s.dataplane_cache_hits s.traces_run
        s.trace_cache_hits
        (100.0 *. trace_hit_rate s));
+  if s.spawn_fallbacks > 0 then
+    Buffer.add_string buf
+      (Printf.sprintf "  spawn fallbacks: %d (ran degraded on fewer domains)\n"
+         s.spawn_fallbacks);
   List.iter
     (fun (name, secs) ->
       Buffer.add_string buf (Printf.sprintf "  phase %-24s %8.3f s\n" name secs))

@@ -69,7 +69,18 @@ val map : t -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel map with deterministic result order.  [f] must be safe to
     run from any domain (pure functions over networks, dataplanes and
     engine calls all are).  With a pool of 1 — or a single-element list —
-    this is exactly [List.map]. *)
+    this is exactly [List.map].
+
+    Degrades gracefully when {!Domain.spawn} fails (domain/thread limits
+    on a loaded host): the shared work queue lets the caller's own worker
+    drain every item, so results are identical — only slower.  Each
+    failed spawn bumps the [spawn_fallbacks] stat and the
+    [engine.spawn_fallbacks] gauge. *)
+
+val fail_spawn_for_tests : bool ref
+(** Test hook: when set, [map] behaves as if every [Domain.spawn]
+    failed, exercising the sequential fallback path.  Never set this
+    outside tests. *)
 
 val phase : t -> string -> (unit -> 'a) -> 'a
 (** [phase t name f] runs [f] and adds its wall-clock seconds (measured
@@ -85,6 +96,8 @@ type stats = {
   dataplanes_built : int;  (** [Dataplane.compute] invocations. *)
   dataplane_cache_hits : int;  (** Dataplanes answered from the digest cache. *)
   domains_used : int;  (** Largest pool [map] has actually engaged. *)
+  spawn_fallbacks : int;
+      (** [Domain.spawn] failures absorbed by the sequential fallback. *)
   phase_seconds : (string * float) list;
       (** Wall seconds per {!phase} bucket, in first-use order. *)
 }

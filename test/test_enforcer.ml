@@ -96,6 +96,37 @@ let test_audit_of_session_log () =
   checkb "verifies" true (Audit.verify audit = Ok ());
   checks "actor" "tech" (List.hd (Audit.records audit)).Audit.actor
 
+(* Regression: [Audit.import] used to drop blank lines before numbering,
+   so a parse error after a blank reported the wrong line.  Lines are
+   now numbered against the original text, and CRLF input imports. *)
+let test_audit_import_line_numbers () =
+  let audit = sample_audit 2 in
+  (match String.split_on_char '\n' (Audit.export audit) with
+  | [ l1; l2 ] -> (
+      (* Two blank lines push the corrupted record to line 5. *)
+      let text = String.concat "\n" [ l1; ""; ""; l2; "{not json" ] in
+      match Audit.import text with
+      | Error m ->
+          let contains sub s =
+            let n = String.length sub and m = String.length s in
+            let rec go i =
+              if i + n > m then false
+              else if String.sub s i n = sub then true
+              else go (i + 1)
+            in
+            go 0
+          in
+          checkb "reports the real line" true (contains "line 5" m)
+      | Ok _ -> Alcotest.fail "corrupted trail imported")
+  | _ -> Alcotest.fail "expected two exported lines");
+  (* Blank-tolerant on the happy path, including CRLF line endings. *)
+  let crlf =
+    String.concat "\r\n" (String.split_on_char '\n' (Audit.export audit)) ^ "\r\n"
+  in
+  match Audit.import crlf with
+  | Ok imported -> checki "all records back" 2 (Audit.length imported)
+  | Error m -> Alcotest.fail ("CRLF import failed: " ^ m)
+
 (* qcheck: any single-record mutation of detail breaks verification. *)
 let prop_audit_tamper =
   QCheck.Test.make ~count:100 ~name:"audit tamper always detected"
@@ -288,6 +319,25 @@ let test_scheduler_defers_risky_change () =
         (List.exists (fun s -> s.Scheduler.transient_violations <> []) plan.Scheduler.steps)
   | Error m -> Alcotest.fail m
 
+(* Regression: the scheduler used to remove the chosen change from the
+   pool by equality, so a change value appearing twice collapsed into a
+   single step.  Removal is now positional. *)
+let test_scheduler_duplicate_changes () =
+  let net, policies = fixture () in
+  let c = Change.v "r5" (Change.Set_ospf_cost { iface = "eth0"; cost = Some 15 }) in
+  match Scheduler.plan ~production:net ~policies ~changes:[ c; c ] () with
+  | Ok (plan, final) ->
+      checki "both occurrences scheduled" 2 (List.length plan.Scheduler.steps);
+      (* Each step's checkpoint is the planned post-step network; the
+         last one must be the plan's final network. *)
+      (match List.rev plan.Scheduler.steps with
+      | last :: _ ->
+          checks "last checkpoint is final"
+            (Applier.network_digest final)
+            (Applier.network_digest last.Scheduler.checkpoint)
+      | [] -> Alcotest.fail "empty plan")
+  | Error m -> Alcotest.fail m
+
 let test_scheduler_empty () =
   let net, policies = fixture () in
   match Scheduler.plan ~production:net ~policies ~changes:[] () with
@@ -411,6 +461,7 @@ let suite =
     Alcotest.test_case "audit tamper detected" `Quick test_audit_tamper_detected;
     Alcotest.test_case "audit head changes" `Quick test_audit_head_changes;
     Alcotest.test_case "audit from session log" `Quick test_audit_of_session_log;
+    Alcotest.test_case "audit import line numbers" `Quick test_audit_import_line_numbers;
     QCheck_alcotest.to_alcotest prop_audit_tamper;
     Alcotest.test_case "enclave seal roundtrip" `Quick test_enclave_seal_roundtrip;
     Alcotest.test_case "enclave wrong identity" `Quick test_enclave_wrong_identity;
@@ -428,6 +479,7 @@ let suite =
     Alcotest.test_case "verifier apply error" `Quick test_verifier_apply_error;
     Alcotest.test_case "scheduler orders safely" `Quick test_scheduler_orders_safely;
     Alcotest.test_case "scheduler defers risky change" `Quick test_scheduler_defers_risky_change;
+    Alcotest.test_case "scheduler duplicate changes" `Quick test_scheduler_duplicate_changes;
     Alcotest.test_case "scheduler empty" `Quick test_scheduler_empty;
     Alcotest.test_case "enforcer end-to-end approval" `Quick test_enforcer_end_to_end_approval;
     Alcotest.test_case "enforcer rejects malicious session" `Quick

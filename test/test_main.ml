@@ -13,6 +13,7 @@ let () =
       ("obs", Test_obs.suite);
       ("twin", Test_twin.suite);
       ("enforcer", Test_enforcer.suite);
+      ("faults", Test_faults.suite);
       ("msp", Test_msp.suite);
       ("scenarios", Test_scenarios.suite);
       ("extensions", Test_extensions.suite);
