@@ -1,7 +1,7 @@
 # CI entry points.  `make check` is what the pipeline runs on every
 # change: a full build plus the tier-1 test suite.
 
-.PHONY: check build test lint bench bench-smoke chaos-smoke clean
+.PHONY: check build test lint analyze-smoke bench bench-smoke chaos-smoke clean
 
 check: build test
 
@@ -16,6 +16,17 @@ test:
 lint: build
 	dune exec bin/heimdall_cli.exe -- lint enterprise
 	dune exec bin/heimdall_cli.exe -- lint university --severity error
+
+# Semantic analysis smoke: both evaluation networks must come out free
+# of error-severity findings, and the seeded union-shadow defect — which
+# only the packet-set algebra can see — must flip the exit code and
+# report ACL004.
+analyze-smoke: build
+	dune exec bin/heimdall_cli.exe -- analyze enterprise
+	dune exec bin/heimdall_cli.exe -- analyze university
+	! dune exec bin/heimdall_cli.exe -- analyze enterprise --seed-defect > /tmp/analyze-seeded.out
+	grep -q ACL004 /tmp/analyze-seeded.out
+	dune exec bench/main.exe -- sem
 
 bench:
 	dune exec bench/main.exe

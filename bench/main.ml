@@ -6,7 +6,7 @@
      dune exec bench/main.exe            # all reports + micro-benchmarks
      dune exec bench/main.exe -- table1  # one artifact
      dune exec bench/main.exe -- fig7 | fig8 | fig9 | engine | lint
-                                 | ablation-verify | ablation-slicer
+                                 | sem | ablation-verify | ablation-slicer
                                  | ablation-audit | containment | chaos
                                  | micro *)
 
@@ -170,6 +170,74 @@ let report_lint () =
                       ("wall_s_n_domains", Json.Float tn);
                     ])
                 rows) );
+       ]);
+  print_newline ()
+
+let report_sem () =
+  print_string "== Semantic analysis: packet-set algebra + network-wide pass ==\n";
+  let n = max 2 (Heimdall_verify.Engine.default_domains ()) in
+  let measure name net =
+    let open Heimdall_control in
+    let acls =
+      List.concat_map
+        (fun (_, (cfg : Heimdall_config.Ast.t)) -> cfg.acls)
+        (Network.configs net)
+    in
+    let rules =
+      List.fold_left (fun acc (a : Heimdall_net.Acl.t) -> acc + List.length a.rules) 0 acls
+    in
+    (* Algebra kernel: compile every ACL to its exact permit set, then
+       run the exact dead-rule analysis (ACL004/ACL005 backbone). *)
+    let sets, t_permit =
+      Heimdall_msp.Timing.elapsed (fun () ->
+          List.map Heimdall_sem.Acl_sem.permit_set acls)
+    in
+    let cubes =
+      List.fold_left (fun acc s -> acc + Heimdall_sem.Packet_set.cube_count s) 0 sets
+    in
+    let _, t_dead =
+      Heimdall_msp.Timing.elapsed (fun () ->
+          List.map Heimdall_sem.Acl_sem.dead_rules acls)
+    in
+    (* Whole-network semantic pass through the engine fan-out, 1 domain
+       vs N — the report must be byte-identical across domain counts. *)
+    let run domains =
+      let engine = Heimdall_verify.Engine.create ~domains () in
+      Heimdall_msp.Timing.elapsed (fun () ->
+          Heimdall_lint.Lint.check_network ~engine net)
+    in
+    let f1, t1 = run 1 in
+    let fn, tn = run n in
+    let identical = List.equal Heimdall_lint.Diagnostic.equal f1 fn in
+    Printf.printf
+      "  %-10s %d ACLs / %d rules -> %d cubes; permit-sets %.4f s; dead-rules %.4f s\n"
+      name (List.length acls) rules cubes t_permit t_dead;
+    Printf.printf
+      "  %-10s network pass: 1 domain %.4f s; %d domains %.4f s; identical: %b\n"
+      name t1 n tn identical;
+    let open Heimdall_json in
+    Json.Obj
+      [
+        ("network", Json.String name);
+        ("acls", Json.Int (List.length acls));
+        ("rules", Json.Int rules);
+        ("permit_set_cubes", Json.Int cubes);
+        ("wall_s_permit_sets", Json.Float t_permit);
+        ("wall_s_dead_rules", Json.Float t_dead);
+        ("wall_s_pass_1_domain", Json.Float t1);
+        ("wall_s_pass_n_domains", Json.Float tn);
+        ("identical_across_domains", Json.Bool identical);
+      ]
+  in
+  let enterprise = measure "enterprise" (fst (Experiments.enterprise ())) in
+  let university = measure "university" (fst (Experiments.university ())) in
+  let rows = [ enterprise; university ] in
+  let open Heimdall_json in
+  persist_report ~key:"sem"
+    (Json.Obj
+       [
+         ("domains", Json.Int (max 2 (Heimdall_verify.Engine.default_domains ())));
+         ("networks", Json.List rows);
        ]);
   print_newline ()
 
@@ -409,6 +477,7 @@ let reports =
     ("fig9", report_fig9);
     ("engine", report_engine);
     ("lint", report_lint);
+    ("sem", report_sem);
     ("ablation-verify", report_ablation_verify);
     ("ablation-slicer", report_ablation_slicer);
     ("ablation-audit", report_ablation_audit);

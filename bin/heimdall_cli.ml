@@ -5,6 +5,8 @@
      config     print a device's configuration
      mine       mine the policy set of a network
      lint       static analysis over configs, ACLs and privilege specs
+     analyze    semantic analysis: packet-set ACL checks, network-wide
+                checks, per-ticket privilege over-grant detection
      trace      trace a flow through a network's dataplane
      ticket     run an issue through the Current and Heimdall workflows
      privilege  print the Privilege_msp generated for an issue's ticket
@@ -291,127 +293,261 @@ let sweep_cmd =
     (Cmd.info "sweep" ~doc:"Feasibility / attack-surface sweep (Figures 8 and 9)")
     Term.(const run $ network_arg)
 
+(* ---------------- lint / analyze (shared plumbing) ---------------- *)
+
+let lint_json_flag =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit the findings as a JSON report.")
+
+let lint_severity_arg =
+  let sev_conv =
+    Arg.enum
+      [
+        ("error", Heimdall_lint.Diagnostic.Error);
+        ("warning", Heimdall_lint.Diagnostic.Warning);
+        ("info", Heimdall_lint.Diagnostic.Info);
+      ]
+  in
+  Arg.(
+    value
+    & opt sev_conv Heimdall_lint.Diagnostic.Info
+    & info [ "severity" ] ~docv:"LEVEL"
+        ~doc:"Only report findings at or above $(docv): error, warning or info.")
+
+let lint_domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"N"
+        ~doc:"Engine domain pool for the per-device/per-link fan-out (default: auto).")
+
+let lint_rules_flag =
+  Arg.(value & flag & info [ "rules" ] ~doc:"List every lint rule code and exit.")
+
+let print_lint_rules () =
+  let open Heimdall_lint in
+  Printf.printf "%-8s %-10s %-8s %s\n" "CODE" "FAMILY" "SEVERITY" "SUMMARY";
+  List.iter
+    (fun (r : Lint.rule) ->
+      Printf.printf "%-8s %-10s %-8s %s\n" r.code
+        (Lint.family_to_string r.family)
+        (Diagnostic.severity_to_string r.severity)
+        r.summary)
+    Lint.rules
+
+let lint_target_arg =
+  Arg.(
+    value
+    & pos 0 (some string) None
+    & info [] ~docv:"NETWORK"
+        ~doc:
+          "Evaluation network (enterprise or university) or a directory in the \
+           loader layout (see the export subcommand).")
+
+(* A scenario name analyses the network plus the privilege spec Heimdall
+   would generate for each of its issues; a loader directory analyses
+   just the network on disk. *)
+let resolve_lint_target target =
+  match Experiments.scenario_of_name target with
+  | Some sc -> (sc.Experiments.scenario_name, sc.Experiments.net, sc.Experiments.issues)
+  | None when Sys.file_exists target && Sys.is_directory target -> (
+      match Loader.load_dir target with
+      | Ok net -> (target, net, [])
+      | Error e ->
+          prerr_endline (Loader.error_to_string e);
+          exit 124)
+  | None -> (
+      match network_of_string target with
+      | Error m ->
+          prerr_endline ("heimdall: " ^ m);
+          exit 124
+      | Ok _ -> assert false)
+
+(* Render (and optionally exit non-zero) through the shared severity
+   gate: the exit decision is made on the filtered report, so a run that
+   prints nothing can never fail. *)
+let print_report_and_exit ~name ~json ~header findings_filtered ~fail =
+  let open Heimdall_lint in
+  if json then
+    print_endline
+      (Heimdall_json.Json.to_string ~pretty:true
+         (match Lint.to_json findings_filtered with
+         | Heimdall_json.Json.Obj fields ->
+             Heimdall_json.Json.Obj
+               (("network", Heimdall_json.Json.String name) :: fields)
+         | j -> j))
+  else begin
+    print_string header;
+    print_string (Lint.render findings_filtered)
+  end;
+  if fail then exit 1
+
 (* ---------------- lint ---------------- *)
 
 let lint_cmd =
   let open Heimdall_lint in
-  let json_flag =
-    Arg.(value & flag & info [ "json" ] ~doc:"Emit the findings as a JSON report.")
-  in
-  let severity_arg =
-    let sev_conv =
-      Arg.enum
-        [
-          ("error", Diagnostic.Error);
-          ("warning", Diagnostic.Warning);
-          ("info", Diagnostic.Info);
-        ]
-    in
-    Arg.(
-      value
-      & opt sev_conv Diagnostic.Info
-      & info [ "severity" ] ~docv:"LEVEL"
-          ~doc:"Only report findings at or above $(docv): error, warning or info.")
-  in
-  let domains_arg =
-    Arg.(
-      value
-      & opt (some int) None
-      & info [ "domains" ] ~docv:"N"
-          ~doc:"Engine domain pool for the per-device fan-out (default: auto).")
-  in
-  let rules_flag =
-    Arg.(value & flag & info [ "rules" ] ~doc:"List every lint rule code and exit.")
-  in
-  let print_rules () =
-    Printf.printf "%-8s %-10s %-8s %s\n" "CODE" "FAMILY" "SEVERITY" "SUMMARY";
-    List.iter
-      (fun (r : Lint.rule) ->
-        Printf.printf "%-8s %-10s %-8s %s\n" r.code
-          (Lint.family_to_string r.family)
-          (Diagnostic.severity_to_string r.severity)
-          r.summary)
-      Lint.rules
-  in
-  let target_arg =
-    Arg.(
-      value
-      & pos 0 (some string) None
-      & info [] ~docv:"NETWORK"
-          ~doc:
-            "Evaluation network (enterprise or university) or a directory in the \
-             loader layout (see the export subcommand).")
-  in
-  (* A scenario name lints the network plus the privilege spec Heimdall
-     would generate for each of its issues; a loader directory lints just
-     the network on disk. *)
-  let resolve_target target =
-    match Experiments.scenario_of_name target with
-    | Some sc -> (sc.scenario_name, sc.net, sc.issues)
-    | None when Sys.file_exists target && Sys.is_directory target -> (
-        match Loader.load_dir target with
-        | Ok net -> (target, net, [])
-        | Error e ->
-            prerr_endline (Loader.error_to_string e);
-            exit 124)
-    | None -> (
-        match network_of_string target with
-        | Error m ->
-            prerr_endline ("heimdall: " ^ m);
-            exit 124
-        | Ok _ -> assert false)
-  in
   let run target json severity domains rules =
     match (rules, target) with
-    | true, _ -> print_rules ()
+    | true, _ -> print_lint_rules ()
     | false, None ->
         prerr_endline "heimdall: required argument NETWORK is missing (or pass --rules)";
         exit 124
-    | false, Some target -> begin
-      let name, net, issues = resolve_target target in
-      let engine = Heimdall_verify.Engine.create ?domains () in
-      let config_findings = Lint.check_network ~engine net in
-      (* Also lint the privilege spec Heimdall would generate for each of
-         the scenario's issues — the third analyzer family. *)
-      let priv_findings =
-        List.concat_map
-          (fun (issue : Heimdall_msp.Issue.t) ->
-            let broken = issue.inject net in
-            let slice =
-              Heimdall_twin.Twin.slice_nodes ~production:broken
-                ~endpoints:issue.ticket.endpoints ()
-            in
-            let spec = Heimdall_msp.Priv_gen.for_ticket ~network:broken ~slice issue.ticket in
-            Lint.check_privilege ~network:broken ~label:("ticket:" ^ issue.name) spec)
-          issues
-      in
-      let findings =
-        Lint.filter ~min_severity:severity
-          (List.sort Diagnostic.compare (config_findings @ priv_findings))
-      in
-      if json then
-        print_endline
-          (Heimdall_json.Json.to_string ~pretty:true
-             (match Lint.to_json findings with
-             | Heimdall_json.Json.Obj fields ->
-                 Heimdall_json.Json.Obj
-                   (("network", Heimdall_json.Json.String name) :: fields)
-             | j -> j))
-      else begin
-        Printf.printf "lint %s: %d devices, %d privilege specs\n" name
-          (List.length (Network.node_names net))
-          (List.length issues);
-        print_string (Lint.render findings)
-      end;
-      if Lint.has_errors findings then exit 1
-    end
+    | false, Some target ->
+        let name, net, issues = resolve_lint_target target in
+        let engine = Heimdall_verify.Engine.create ?domains () in
+        let config_findings = Lint.check_network ~engine net in
+        (* Also lint the privilege spec Heimdall would generate for each of
+           the scenario's issues — the third analyzer family. *)
+        let priv_findings =
+          List.concat_map
+            (fun (issue : Heimdall_msp.Issue.t) ->
+              let broken = issue.inject net in
+              let slice =
+                Heimdall_twin.Twin.slice_nodes ~production:broken
+                  ~endpoints:issue.ticket.endpoints ()
+              in
+              let spec = Heimdall_msp.Priv_gen.for_ticket ~network:broken ~slice issue.ticket in
+              Lint.check_privilege ~network:broken ~label:("ticket:" ^ issue.name) spec)
+            issues
+        in
+        let findings, fail =
+          Lint.apply_severity ~min_severity:severity
+            (List.sort Diagnostic.compare (config_findings @ priv_findings))
+        in
+        let header =
+          Printf.sprintf "lint %s: %d devices, %d privilege specs\n" name
+            (List.length (Network.node_names net))
+            (List.length issues)
+        in
+        print_report_and_exit ~name ~json ~header findings ~fail
   in
   Cmd.v
     (Cmd.info "lint"
        ~doc:
          "Statically analyse a network's configs, ACLs and generated privilege specs; \
           exit non-zero on error-severity findings")
-    Term.(const run $ target_arg $ json_flag $ severity_arg $ domains_arg $ rules_flag)
+    Term.(
+      const run $ lint_target_arg $ lint_json_flag $ lint_severity_arg $ lint_domains_arg
+      $ lint_rules_flag)
+
+(* ---------------- analyze ---------------- *)
+
+(* Seed a deterministic union-shadow defect into the first ACL of the
+   network: two /17 permits whose union exactly covers a later /16 deny.
+   No pairwise check can see it — only the packet-set algebra (ACL004) —
+   which makes it the CI self-test that the semantic pass is alive. *)
+let seed_acl_defect net =
+  let victim =
+    List.find_map
+      (fun (node, (cfg : Heimdall_config.Ast.t)) ->
+        match cfg.acls with a :: _ -> Some (node, a.Acl.name) | [] -> None)
+      (Network.configs net)
+  in
+  match victim with
+  | None ->
+      prerr_endline "heimdall: --seed-defect needs a network with at least one ACL";
+      exit 124
+  | Some (node, acl_name) ->
+      let rule seq action src =
+        Acl.rule ~seq ~proto:(Acl.Proto Flow.Tcp) action (Prefix.of_string src)
+          Prefix.any
+      in
+      let cfg = Option.get (Network.config node net) in
+      let acl = Option.get (Heimdall_config.Ast.find_acl acl_name cfg) in
+      let acl =
+        acl
+        |> Acl.add_rule (rule 1 Acl.Permit "10.250.0.0/17")
+        |> Acl.add_rule (rule 2 Acl.Permit "10.250.128.0/17")
+        |> Acl.add_rule (rule 3 Acl.Deny "10.250.0.0/16")
+      in
+      let net =
+        Network.with_config node (Heimdall_config.Ast.update_acl acl cfg) net
+      in
+      (net, node, acl_name)
+
+let analyze_cmd =
+  let open Heimdall_lint in
+  let seed_defect_flag =
+    Arg.(
+      value & flag
+      & info [ "seed-defect" ]
+          ~doc:
+            "Self-test: inject a union-shadow ACL defect that only the packet-set \
+             algebra can catch, then analyse.  The run must report ACL004.")
+  in
+  let run target json severity domains rules seed_defect =
+    match (rules, target) with
+    | true, _ -> print_lint_rules ()
+    | false, None ->
+        prerr_endline "heimdall: required argument NETWORK is missing (or pass --rules)";
+        exit 124
+    | false, Some target ->
+        let name, net, issues = resolve_lint_target target in
+        let net, seeded =
+          if seed_defect then
+            let net, node, acl = seed_acl_defect net in
+            (net, Some (node, acl))
+          else (net, None)
+        in
+        let engine = Heimdall_verify.Engine.create ?domains () in
+        let net_findings = Lint.check_network ~engine net in
+        (* Per issue: lint the generated spec, then replay the scripted fix
+           in a twin session and ask the over-grant analyzer (PRV004) what
+           privilege the grant carried that the fix never exercised. *)
+        let issue_findings =
+          List.concat_map
+            (fun (issue : Heimdall_msp.Issue.t) ->
+              let label = "ticket:" ^ issue.name in
+              let broken = issue.inject net in
+              let slice =
+                Heimdall_twin.Twin.slice_nodes ~production:broken
+                  ~endpoints:issue.ticket.endpoints ()
+              in
+              let spec = Heimdall_msp.Priv_gen.for_ticket ~network:broken ~slice issue.ticket in
+              let spec_findings = Lint.check_privilege ~network:broken ~label spec in
+              let em =
+                Heimdall_twin.Twin.build ~production:broken
+                  ~endpoints:issue.ticket.endpoints ()
+              in
+              let session = Heimdall_twin.Twin.open_session ~privilege:spec em in
+              ignore (Heimdall_twin.Session.exec_many session issue.fix_commands);
+              let changes =
+                Heimdall_twin.Emulation.changes (Heimdall_twin.Session.emulation session)
+              in
+              let usage_findings =
+                Lint.check_privilege_usage ~label ~network:broken ~spec ~changes ()
+              in
+              spec_findings @ usage_findings)
+            issues
+        in
+        let findings, fail =
+          Lint.apply_severity ~min_severity:severity
+            (List.sort Diagnostic.compare (net_findings @ issue_findings))
+        in
+        let header =
+          let acl_count =
+            List.fold_left
+              (fun n (_, (cfg : Heimdall_config.Ast.t)) -> n + List.length cfg.acls)
+              0 (Network.configs net)
+          in
+          Printf.sprintf "analyze %s: %d devices, %d ACLs, %d tickets%s\n" name
+            (List.length (Network.node_names net))
+            acl_count (List.length issues)
+            (match seeded with
+            | Some (node, acl) ->
+                Printf.sprintf " [seeded union-shadow defect into %s/%s]" node acl
+            | None -> "")
+        in
+        print_report_and_exit ~name ~json ~header findings ~fail
+  in
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:
+         "Semantic static analysis: exact packet-set ACL checks (ACL004/ACL005), \
+          network-wide cross-device checks (NET001-NET006) and privilege over-grant \
+          detection (PRV004); exit non-zero on error-severity findings")
+    Term.(
+      const run $ lint_target_arg $ lint_json_flag $ lint_severity_arg $ lint_domains_arg
+      $ lint_rules_flag $ seed_defect_flag)
 
 (* ---------------- experiment ---------------- *)
 
@@ -676,6 +812,7 @@ let () =
             config_cmd;
             mine_cmd;
             lint_cmd;
+            analyze_cmd;
             trace_cmd;
             ticket_cmd;
             privilege_cmd;

@@ -10,6 +10,8 @@ type outcome = {
   fixed_policies : Policy.t list;
   impact : Reachability.impact option;
   lint_findings : Heimdall_lint.Diagnostic.t list;
+  sem_findings : Heimdall_lint.Diagnostic.t list;
+  acl_diffs : (string * string * Heimdall_sem.Acl_sem.diff) list;
   audit : Audit.t;
   report : Enclave.report;
   sealed_head : string;
@@ -35,6 +37,37 @@ let lint_delta ?engine ?obs emulation =
   List.filter
     (fun d -> not (List.exists (Diagnostic.equal d) baseline))
     current
+
+(* Semantic ACL diff of the session: for every ACL of every device, the
+   exact packet sets the edits opened and closed (empty diffs dropped).
+   An ACL missing on one side compares as the empty list — implicit
+   deny-all. *)
+let session_acl_diffs emulation =
+  let open Heimdall_net in
+  let before = Heimdall_twin.Emulation.baseline emulation in
+  let after = Heimdall_twin.Emulation.network emulation in
+  List.concat_map
+    (fun node ->
+      let acls net =
+        match Heimdall_control.Network.config node net with
+        | Some (cfg : Ast.t) -> cfg.acls
+        | None -> []
+      in
+      let names =
+        List.sort_uniq String.compare
+          (List.map (fun (a : Acl.t) -> a.name) (acls before @ acls after))
+      in
+      List.filter_map
+        (fun name ->
+          let find net =
+            match Heimdall_control.Network.config node net with
+            | Some cfg -> Option.value (Ast.find_acl name cfg) ~default:(Acl.empty name)
+            | None -> Acl.empty name
+          in
+          let d = Heimdall_sem.Acl_sem.diff ~before:(find before) ~after:(find after) in
+          if Heimdall_sem.Acl_sem.diff_is_empty d then None else Some (node, name, d))
+        names)
+    (Heimdall_control.Network.node_names after)
 
 let process ?(enclave = default_enclave) ?engine ?obs ?injector ?max_attempts
     ~production ~policies ~privilege ~session () =
@@ -75,6 +108,28 @@ let process ?(enclave = default_enclave) ?engine ?obs ?injector ?max_attempts
   in
   Heimdall_obs.Obs.event obs "lint.delta"
     ~attrs:[ ("new_findings", string_of_int (List.length lint_findings)) ];
+  (* Semantic pre-check: exact packet-set diffs of every touched ACL,
+     and the over-grant analysis of the session's privilege spec against
+     what the changes actually exercised.  Advisory, like lint. *)
+  let sem_findings, acl_diffs =
+    Heimdall_obs.Obs.span obs "enforcer.sem" (fun () ->
+        let acl_diffs = session_acl_diffs emulation in
+        let sem_findings =
+          Heimdall_lint.Lint.check_privilege_usage ~network:production
+            ~spec:privilege ~changes ()
+        in
+        Heimdall_obs.Obs.add_attr obs "acl_diffs"
+          (string_of_int (List.length acl_diffs));
+        Heimdall_obs.Obs.add_attr obs "overgrants"
+          (string_of_int (List.length sem_findings));
+        (sem_findings, acl_diffs))
+  in
+  Heimdall_obs.Obs.event obs "sem.precheck"
+    ~attrs:
+      [
+        ("acl_diffs", string_of_int (List.length acl_diffs));
+        ("overgrants", string_of_int (List.length sem_findings));
+      ];
   let audit =
     List.fold_left
       (fun audit (c : Change.t) ->
@@ -91,6 +146,25 @@ let process ?(enclave = default_enclave) ?engine ?obs ?injector ?max_attempts
           ~verdict:(Heimdall_lint.Diagnostic.severity_to_string d.severity)
           audit)
       audit lint_findings
+  in
+  let audit =
+    List.fold_left
+      (fun audit (node, name, d) ->
+        Audit.append ~actor:"enforcer" ~action:"sem.diff" ~resource:node
+          ~detail:
+            (Printf.sprintf "acl %s: %s" name (Heimdall_sem.Acl_sem.diff_to_string d))
+          ~verdict:"recorded" audit)
+      audit acl_diffs
+  in
+  let audit =
+    List.fold_left
+      (fun audit (d : Heimdall_lint.Diagnostic.t) ->
+        Audit.append ~actor:"enforcer" ~action:"sem.overgrant"
+          ~resource:(Option.value d.device ~default:"privilege")
+          ~detail:(Heimdall_lint.Diagnostic.to_string d)
+          ~verdict:(Heimdall_lint.Diagnostic.severity_to_string d.severity)
+          audit)
+      audit sem_findings
   in
   let audit =
     List.fold_left
@@ -115,6 +189,8 @@ let process ?(enclave = default_enclave) ?engine ?obs ?injector ?max_attempts
       fixed_policies = verdict.fixed_policies;
       impact = None;
       lint_findings;
+      sem_findings;
+      acl_diffs;
       audit;
       report = Enclave.attest enclave ~report_data:head;
       sealed_head = Enclave.seal enclave head;
@@ -137,6 +213,8 @@ let process ?(enclave = default_enclave) ?engine ?obs ?injector ?max_attempts
           fixed_policies = verdict.fixed_policies;
           impact = None;
           lint_findings;
+          sem_findings;
+          acl_diffs;
           audit;
           report = Enclave.attest enclave ~report_data:head;
           sealed_head = Enclave.seal enclave head;
@@ -186,6 +264,8 @@ let process ?(enclave = default_enclave) ?engine ?obs ?injector ?max_attempts
           fixed_policies = verdict.fixed_policies;
           impact = Some impact;
           lint_findings;
+          sem_findings;
+          acl_diffs;
           audit;
           report = Enclave.attest enclave ~report_data:head;
           sealed_head = Enclave.seal enclave head;
@@ -216,6 +296,27 @@ let outcome_to_string o =
       (fun d ->
         Buffer.add_string buf ("  " ^ Heimdall_lint.Diagnostic.to_string d ^ "\n"))
       o.lint_findings
+  end;
+  if o.acl_diffs <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "sem: %d ACL diff%s\n" (List.length o.acl_diffs)
+         (if List.length o.acl_diffs = 1 then "" else "s"));
+    List.iter
+      (fun (node, name, d) ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %s/%s: %s\n" node name
+             (Heimdall_sem.Acl_sem.diff_to_string d)))
+      o.acl_diffs
+  end;
+  if o.sem_findings <> [] then begin
+    Buffer.add_string buf
+      (Printf.sprintf "sem: %d over-grant finding%s\n"
+         (List.length o.sem_findings)
+         (if List.length o.sem_findings = 1 then "" else "s"));
+    List.iter
+      (fun d ->
+        Buffer.add_string buf ("  " ^ Heimdall_lint.Diagnostic.to_string d ^ "\n"))
+      o.sem_findings
   end;
   Buffer.add_string buf
     (Printf.sprintf "audit: %d records, head %s...\n" (Audit.length o.audit)

@@ -28,6 +28,15 @@ type outcome = {
       (** Static-analysis findings introduced during the session (twin
           lint delta vs the session baseline).  Advisory: recorded in the
           audit trail, never a rejection by itself. *)
+  sem_findings : Heimdall_lint.Diagnostic.t list;
+      (** Semantic pre-check findings: PRV004 over-grant diagnostics —
+          grants of the session's privilege spec the changes never
+          exercised.  Advisory, recorded as [sem.overgrant] audit
+          records. *)
+  acl_diffs : (string * string * Heimdall_sem.Acl_sem.diff) list;
+      (** Per (device, ACL name): the exact packet-set diff of every ACL
+          the session touched (non-empty diffs only), recorded as
+          [sem.diff] audit records with witness packets. *)
   audit : Audit.t;  (** Session log + enforcer decisions, hash-chained. *)
   report : Enclave.report;  (** Attestation over the audit head. *)
   sealed_head : string;  (** Audit head sealed to the enforcer enclave. *)

@@ -1,36 +1,50 @@
 open Heimdall_net
+open Heimdall_sem
 
-(* First-match-wins shadowing, refined by action: an earlier subsuming
-   rule with the opposite action is an intent conflict (the later rule
-   reads like an exception that never applies); with the same action the
-   later rule is merely dead weight. *)
+(* Dead-rule reporting drives off the exact packet-set analysis
+   (Acl_sem.dead_rules), so this walk and Acl.shadowed_rules can never
+   disagree.  The pairwise cases keep their historical codes and
+   messages (ACL001/ACL002, attributed to the nearest subsuming rule);
+   rules only a *union* of earlier rules covers — invisible to pairwise
+   subsumption — get the semantic codes ACL004/ACL005. *)
 let shadowing ~device (acl : Acl.t) =
-  let rec go earlier = function
-    | [] -> []
-    | (r : Acl.rule) :: rest ->
-        let found =
-          match List.find_opt (fun (e : Acl.rule) -> Acl.rule_subsumes e r) earlier with
-          | None -> []
-          | Some e when e.action <> r.action ->
-              [
-                Diagnostic.v ~device ~obj:acl.name ~line:r.seq ~code:"ACL001"
-                  Diagnostic.Error
-                  (Printf.sprintf
-                     "rule %d (%s) is shadowed by rule %d (%s) with the opposite action"
-                     r.seq (Acl.rule_to_string r) e.seq (Acl.rule_to_string e));
-              ]
-          | Some e ->
-              [
-                Diagnostic.v ~device ~obj:acl.name ~line:r.seq ~code:"ACL002"
-                  Diagnostic.Warning
-                  (Printf.sprintf "rule %d (%s) is redundant: rule %d already %ss it"
-                     r.seq (Acl.rule_to_string r) e.seq
-                     (Acl.action_to_string e.action));
-              ]
-        in
-        found @ go (r :: earlier) rest
-  in
-  go [] acl.rules
+  List.map
+    (fun (d : Acl_sem.dead) ->
+      let r = d.rule in
+      match d.subsumer with
+      | Some (e : Acl.rule) when e.action <> r.action ->
+          Diagnostic.v ~device ~obj:acl.name ~line:r.seq ~code:"ACL001"
+            Diagnostic.Error
+            (Printf.sprintf
+               "rule %d (%s) is shadowed by rule %d (%s) with the opposite action"
+               r.seq (Acl.rule_to_string r) e.seq (Acl.rule_to_string e))
+      | Some e ->
+          Diagnostic.v ~device ~obj:acl.name ~line:r.seq ~code:"ACL002"
+            Diagnostic.Warning
+            (Printf.sprintf "rule %d (%s) is redundant: rule %d already %ss it"
+               r.seq (Acl.rule_to_string r) e.seq
+               (Acl.action_to_string e.action))
+      | None ->
+          let coverers =
+            String.concat ", " (List.map string_of_int d.coverers)
+          in
+          if d.conflict then
+            Diagnostic.v ~device ~obj:acl.name ~line:r.seq ~code:"ACL004"
+              Diagnostic.Error
+              (Printf.sprintf
+                 "rule %d (%s) can never fire: rules %s jointly cover it and decide \
+                  part of its traffic with the opposite action%s"
+                 r.seq (Acl.rule_to_string r) coverers
+                 (match d.witness with
+                 | Some f -> Printf.sprintf " (witness: %s)" (Flow.to_string f)
+                 | None -> ""))
+          else
+            Diagnostic.v ~device ~obj:acl.name ~line:r.seq ~code:"ACL005"
+              Diagnostic.Warning
+              (Printf.sprintf
+                 "rule %d (%s) is redundant: rules %s jointly cover all its traffic"
+                 r.seq (Acl.rule_to_string r) coverers))
+    (Acl_sem.dead_rules acl)
 
 let is_match_all (r : Acl.rule) =
   r.proto = Acl.Any_proto

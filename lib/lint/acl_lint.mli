@@ -7,7 +7,13 @@
     - [ACL002] (warning): a rule is fully redundant — subsumed by an
       earlier rule with the {e same} action.
     - [ACL003] (warning): the ACL ends in a terminal [permit ip any any],
-      which turns the implicit default-deny into default-permit. *)
+      which turns the implicit default-deny into default-permit.
+    - [ACL004] (error): a rule no single earlier rule subsumes is still
+      dead — a {e union} of earlier rules covers it — and part of its
+      traffic is decided with the opposite action (reported with a
+      witness packet).  Exact, via {!Heimdall_sem.Acl_sem}.
+    - [ACL005] (warning): same union-coverage, but every covering
+      decision agrees with the dead rule — pure redundancy. *)
 
 open Heimdall_net
 

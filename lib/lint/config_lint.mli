@@ -34,6 +34,12 @@ val check_device : Network.t -> string -> Diagnostic.t list
 val check_links : Network.t -> Diagnostic.t list
 (** Cross-device link checks: CFG002 and CFG007. *)
 
+val effective_area : Network.t -> Heimdall_net.Topology.endpoint -> int option
+(** The OSPF area effectively running on an endpoint — the interface must
+    be enabled and addressed, a [network] statement must cover the
+    address, and an explicit per-interface area overrides the
+    statement's.  Shared with {!Net_lint}'s adjacency checks. *)
+
 val duplicate_addresses : Network.t -> Diagnostic.t list
 (** CFG001, one diagnostic per duplicated address listing every owner. *)
 

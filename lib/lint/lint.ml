@@ -3,11 +3,12 @@ open Heimdall_verify
 
 (* ---------------- rule registry ---------------- *)
 
-type family = Config | Acl | Privilege
+type family = Config | Acl | Net | Privilege
 
 let family_to_string = function
   | Config -> "config"
   | Acl -> "acl"
+  | Net -> "net"
   | Privilege -> "privilege"
 
 type rule = {
@@ -43,12 +44,30 @@ let rules =
       summary = "rule fully redundant with an earlier same-action rule" };
     { code = "ACL003"; family = Acl; severity = Diagnostic.Warning;
       summary = "terminal 'permit ip any any' turns default-deny into default-permit" };
+    { code = "ACL004"; family = Acl; severity = Diagnostic.Error;
+      summary = "rule killed by a union of earlier rules deciding with the opposite action" };
+    { code = "ACL005"; family = Acl; severity = Diagnostic.Warning;
+      summary = "rule redundant: a union of earlier same-effect rules covers all its traffic" };
+    { code = "NET001"; family = Net; severity = Diagnostic.Error;
+      summary = "OSPF runs on only one end of a router-to-router link" };
+    { code = "NET002"; family = Net; severity = Diagnostic.Warning;
+      summary = "asymmetric OSPF interface cost across an adjacency" };
+    { code = "NET003"; family = Net; severity = Diagnostic.Warning;
+      summary = "two configured subnets overlap without being equal" };
+    { code = "NET004"; family = Net; severity = Diagnostic.Error;
+      summary = "next hop on a connected subnet but owned by no device" };
+    { code = "NET005"; family = Net; severity = Diagnostic.Error;
+      summary = "static routes form a two-device forwarding loop" };
+    { code = "NET006"; family = Net; severity = Diagnostic.Error;
+      summary = "switchport VLAN sets differ across a link" };
     { code = "PRV001"; family = Privilege; severity = Diagnostic.Error;
       summary = "statement unreachable under first-match-wins" };
     { code = "PRV002"; family = Privilege; severity = Diagnostic.Warning;
       summary = "grant on a resource naming no device/interface in the network" };
     { code = "PRV003"; family = Privilege; severity = Diagnostic.Warning;
       summary = "over-broad grant (allow everything on every device)" };
+    { code = "PRV004"; family = Privilege; severity = Diagnostic.Warning;
+      summary = "grant strictly exceeds the privilege the changes exercised" };
   ]
 
 let rule code = List.find_opt (fun r -> r.code = code) rules
@@ -59,16 +78,28 @@ let check_network ?engine ?obs ?(twin_exposed = false) net =
   let obs = match obs with Some _ -> obs | None -> Option.bind engine Engine.obs in
   Heimdall_obs.Obs.span obs "lint.check_network" (fun () ->
       let nodes = Network.node_names net in
+      let device_checks node =
+        Config_lint.check_device net node @ Net_lint.check_device_routes net node
+      in
       let per_device =
         match engine with
-        | None -> List.map (Config_lint.check_device net) nodes
+        | None -> List.map device_checks nodes
         | Some e ->
-            Engine.phase e "lint/devices" (fun () ->
-                Engine.map e (Config_lint.check_device net) nodes)
+            Engine.phase e "lint/devices" (fun () -> Engine.map e device_checks nodes)
+      in
+      let links = Heimdall_net.Topology.links (Network.topology net) in
+      let per_link =
+        match engine with
+        | None -> List.map (Net_lint.check_link net) links
+        | Some e ->
+            Engine.phase e "lint/links" (fun () ->
+                Engine.map e (Net_lint.check_link net) links)
       in
       let cross =
         Config_lint.check_links net
+        @ Net_lint.overlapping_subnets net
         @ Config_lint.duplicate_addresses net
+        @ List.concat per_link
         @ if twin_exposed then Config_lint.twin_exposure net else []
       in
       let findings = List.sort Diagnostic.compare (List.concat per_device @ cross) in
@@ -85,6 +116,9 @@ let check_privilege ?network ?label spec =
 
 let check_acl = Acl_lint.check
 
+let check_privilege_usage ?label ~network ~spec ~changes () =
+  Priv_lint.check_usage ?label ~network ~spec ~changes ()
+
 (* ---------------- filtering and rendering ---------------- *)
 
 let filter ~min_severity diags =
@@ -97,6 +131,13 @@ let count severity diags =
   List.length (List.filter (fun (d : Diagnostic.t) -> d.severity = severity) diags)
 
 let has_errors diags = count Diagnostic.Error diags > 0
+
+(* The one severity gate every front-end shares: the exit decision is
+   made on the *filtered* report, so what the user sees and what fails
+   the process can never disagree. *)
+let apply_severity ~min_severity diags =
+  let filtered = filter ~min_severity diags in
+  (filtered, has_errors filtered)
 
 let summary diags =
   match diags with

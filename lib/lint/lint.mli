@@ -16,7 +16,7 @@ open Heimdall_verify
 
 (** {1 Rule registry} *)
 
-type family = Config | Acl | Privilege
+type family = Config | Acl | Net | Privilege
 
 val family_to_string : family -> string
 
@@ -38,10 +38,11 @@ val rule : string -> rule option
 val check_network :
   ?engine:Engine.t -> ?obs:Heimdall_obs.Obs.t -> ?twin_exposed:bool -> Network.t ->
   Diagnostic.t list
-(** All config-family and ACL-family findings for a network.  Per-device
-    checks (including each device's ACLs) fan out through [engine] when
-    one is given; cross-device checks (duplicate addresses, link
-    mismatches) run on the calling domain.  [twin_exposed] (default
+(** All config-, ACL- and net-family findings for a network.  Per-device
+    checks (including each device's ACLs and static-route resolution)
+    and per-link checks fan out through [engine] when one is given;
+    global cross-device checks (duplicate addresses, overlapping
+    subnets) run on the calling domain.  [twin_exposed] (default
     false) additionally runs the SEC001 secret-exposure check — set it
     when the network is (about to be) technician-visible.  With [?obs]
     (or an engine carrying one) the pass is a tracer span and feeds the
@@ -56,9 +57,27 @@ val check_privilege : ?network:Network.t -> ?label:string -> Privilege.t -> Diag
 val check_acl : device:string -> Heimdall_net.Acl.t -> Diagnostic.t list
 (** The ACL-family findings for a single access list. *)
 
+val check_privilege_usage :
+  ?label:string ->
+  network:Network.t ->
+  spec:Privilege.t ->
+  changes:Heimdall_config.Change.t list ->
+  unit ->
+  Diagnostic.t list
+(** PRV004: grants of [spec] that strictly exceed the privilege the
+    change list exercised (see {!Heimdall_sem.Priv_sem}).  [label] is
+    recorded as the diagnostics' device field. *)
+
 (** {1 Filtering and rendering} *)
 
 val filter : min_severity:Diagnostic.severity -> Diagnostic.t list -> Diagnostic.t list
+
+val apply_severity :
+  min_severity:Diagnostic.severity -> Diagnostic.t list -> Diagnostic.t list * bool
+(** The severity gate shared by every CLI front-end: the filtered
+    report, plus whether the process should fail — decided on the
+    {e filtered} findings, so a report that prints nothing never exits
+    non-zero. *)
 
 val count : Diagnostic.severity -> Diagnostic.t list -> int
 

@@ -1,0 +1,234 @@
+open Heimdall_net
+open Heimdall_config
+open Heimdall_control
+
+let iface_of net (e : Topology.endpoint) =
+  Option.bind (Network.config e.node net) (Ast.find_interface e.iface)
+
+let addr_of net (e : Topology.endpoint) =
+  match iface_of net e with
+  | Some (i : Ast.interface) when i.enabled -> i.addr
+  | _ -> None
+
+let is_l3 net (e : Topology.endpoint) =
+  match Network.kind e.node net with
+  | Some (Topology.Router | Topology.Firewall) -> true
+  | _ -> false
+
+(* NET001: one-sided OSPF.  Only meaningful when the link is a plausible
+   adjacency: two L3 devices, both ends up and addressed in one subnet —
+   then a single silent end is a configuration hole, not a design
+   choice (a deliberately non-IGP link has OSPF on neither end). *)
+let one_sided_ospf net (l : Topology.link) =
+  if not (is_l3 net l.a && is_l3 net l.b) then []
+  else
+    match (addr_of net l.a, addr_of net l.b) with
+    | Some aa, Some ab when Ifaddr.same_subnet aa ab -> (
+        let flag (silent : Topology.endpoint) (talking : Topology.endpoint) area =
+          [
+            Diagnostic.v ~device:silent.node ~obj:silent.iface ~code:"NET001"
+              Diagnostic.Error
+              (Printf.sprintf
+                 "OSPF (area %d) runs on %s but not on %s: the adjacency can never \
+                  form"
+                 area
+                 (Topology.endpoint_to_string talking)
+                 (Topology.endpoint_to_string silent));
+          ]
+        in
+        match (Config_lint.effective_area net l.a, Config_lint.effective_area net l.b) with
+        | Some area, None -> flag l.b l.a area
+        | None, Some area -> flag l.a l.b area
+        | _ -> [])
+    | _ -> []
+
+(* NET002: asymmetric interface cost inside one area.  The default cost
+   is 10 (mirroring the dataplane's OSPF model). *)
+let cost_of net e =
+  match iface_of net e with
+  | Some (i : Ast.interface) -> Option.value i.ospf_cost ~default:10
+  | None -> 10
+
+let asymmetric_cost net (l : Topology.link) =
+  match (Config_lint.effective_area net l.a, Config_lint.effective_area net l.b) with
+  | Some x, Some y when x = y ->
+      let ca = cost_of net l.a and cb = cost_of net l.b in
+      if ca = cb then []
+      else
+        [
+          Diagnostic.v ~device:l.a.node ~obj:l.a.iface ~code:"NET002"
+            Diagnostic.Warning
+            (Printf.sprintf
+               "asymmetric OSPF cost across %s <-> %s (%d vs %d): the two directions \
+                may take different paths"
+               (Topology.endpoint_to_string l.a)
+               (Topology.endpoint_to_string l.b)
+               ca cb);
+        ]
+  | _ -> []
+
+(* NET006: the VLANs allowed on each end of a cable must agree, or the
+   difference is silently dropped at the far end. *)
+let vlan_set (i : Ast.interface) =
+  match i.switchport with
+  | Some (Ast.Access v) -> Some [ v ]
+  | Some (Ast.Trunk vs) -> Some (List.sort_uniq Int.compare vs)
+  | None -> None
+
+let vlans_to_string vs = String.concat "," (List.map string_of_int vs)
+
+let switchport_mismatch net (l : Topology.link) =
+  match (iface_of net l.a, iface_of net l.b) with
+  | Some ia, Some ib when ia.enabled && ib.enabled -> (
+      match (vlan_set ia, vlan_set ib) with
+      | Some va, Some vb when va <> vb ->
+          [
+            Diagnostic.v ~device:l.a.node ~obj:l.a.iface ~code:"NET006"
+              Diagnostic.Error
+              (Printf.sprintf
+                 "switchport VLAN mismatch across %s <-> %s (%s vs %s): traffic on \
+                  the difference is dropped"
+                 (Topology.endpoint_to_string l.a)
+                 (Topology.endpoint_to_string l.b)
+                 (vlans_to_string va) (vlans_to_string vb));
+          ]
+      | _ -> [])
+  | _ -> []
+
+let check_link net l =
+  List.sort Diagnostic.compare
+    (one_sided_ospf net l @ asymmetric_cost net l @ switchport_mismatch net l)
+
+(* ---------------- static-route resolution (NET004 / NET005) ---------------- *)
+
+let connected_subnets (cfg : Ast.t) =
+  List.filter_map
+    (fun (i : Ast.interface) ->
+      match i.addr with Some a when i.enabled -> Some (Ifaddr.subnet a) | _ -> None)
+    cfg.interfaces
+
+let check_device_routes net device =
+  match Network.config device net with
+  | None -> []
+  | Some cfg ->
+      let subnets = connected_subnets cfg in
+      let on_subnet nh = List.exists (fun s -> Prefix.contains s nh) subnets in
+      (* A subnet where no *other* modelled device has an address is an
+         external handoff (the ISP side of an uplink): who owns
+         addresses there is outside the model, so NET004 stays quiet. *)
+      let internal_subnet nh =
+        List.exists
+          (fun (node, (c : Ast.t)) ->
+            node <> device
+            && List.exists
+                 (fun (i : Ast.interface) ->
+                   match i.addr with
+                   | Some a when i.enabled ->
+                       List.exists
+                         (fun s ->
+                           Prefix.contains s nh
+                           && Prefix.contains s (Ifaddr.address a))
+                         subnets
+                   | _ -> false)
+                 c.interfaces)
+          (Network.configs net)
+      in
+      (* NET004 fires only where CFG006 does not: the next hop is on a
+         connected subnet, so the local check passes, yet nobody in the
+         network answers for the address. *)
+      let unowned ~obj what nh =
+        if not (on_subnet nh && internal_subnet nh) then []
+        else
+          match Network.owner_of_address nh net with
+          | Some _ -> []
+          | None ->
+              [
+                Diagnostic.v ~device ~obj ~code:"NET004" Diagnostic.Error
+                  (Printf.sprintf
+                     "%s %s is on a connected subnet but no device owns that address"
+                     what (Ipv4.to_string nh));
+              ]
+      in
+      let loops (r : Ast.static_route) =
+        if not (on_subnet r.sr_next_hop) then []
+        else
+          match Network.owner_of_address r.sr_next_hop net with
+          | Some (owner, _) when owner <> device -> (
+              match Network.config owner net with
+              | None -> []
+              | Some ocfg ->
+                  List.filter_map
+                    (fun (r' : Ast.static_route) ->
+                      let back_to_us =
+                        match Network.owner_of_address r'.sr_next_hop net with
+                        | Some (d, _) -> d = device
+                        | None -> false
+                      in
+                      if back_to_us && Prefix.overlaps r'.sr_prefix r.sr_prefix then
+                        Some
+                          (Diagnostic.v ~device
+                             ~obj:(Prefix.to_string r.sr_prefix)
+                             ~code:"NET005" Diagnostic.Error
+                             (Printf.sprintf
+                                "static route %s via %s: %s routes the overlapping %s \
+                                 straight back — two-device forwarding loop"
+                                (Prefix.to_string r.sr_prefix)
+                                (Ipv4.to_string r.sr_next_hop)
+                                owner
+                                (Prefix.to_string r'.sr_prefix)))
+                      else None)
+                    ocfg.static_routes)
+          | Some _ | None -> []
+      in
+      let routes =
+        List.concat_map
+          (fun (r : Ast.static_route) ->
+            unowned ~obj:(Prefix.to_string r.sr_prefix) "static-route next hop"
+              r.sr_next_hop
+            @ loops r)
+          cfg.static_routes
+      in
+      let gateway =
+        match cfg.default_gateway with
+        | Some gw -> unowned ~obj:"default-gateway" "default gateway" gw
+        | None -> []
+      in
+      List.sort Diagnostic.compare (routes @ gateway)
+
+(* ---------------- NET003: overlapping unequal subnets ---------------- *)
+
+let overlapping_subnets net =
+  let owners = Hashtbl.create 64 in
+  List.iter
+    (fun (node, (cfg : Ast.t)) ->
+      List.iter
+        (fun (i : Ast.interface) ->
+          match i.addr with
+          | Some a when i.enabled ->
+              let s = Ifaddr.subnet a in
+              if not (Hashtbl.mem owners s) then
+                Hashtbl.add owners s (node, i.if_name)
+          | _ -> ())
+        cfg.interfaces)
+    (Network.configs net);
+  let subnets =
+    List.sort (fun (a, _) (b, _) -> Prefix.compare a b)
+      (Hashtbl.fold (fun s o acc -> (s, o) :: acc) owners [])
+  in
+  let rec pairs = function
+    | [] -> []
+    | x :: rest -> List.map (fun y -> (x, y)) rest @ pairs rest
+  in
+  List.filter_map
+    (fun (((p, (pn, pi)) : Prefix.t * _), ((q, (qn, qi)) : Prefix.t * _)) ->
+      if Prefix.overlaps p q && not (Prefix.equal p q) then
+        Some
+          (Diagnostic.v ~device:pn ~obj:(Prefix.to_string p) ~code:"NET003"
+             Diagnostic.Warning
+             (Printf.sprintf
+                "subnet %s (%s/%s) overlaps the unequal subnet %s (%s/%s): \
+                 longest-prefix match splits this address space"
+                (Prefix.to_string p) pn pi (Prefix.to_string q) qn qi))
+      else None)
+    (pairs subnets)
+  |> List.sort Diagnostic.compare

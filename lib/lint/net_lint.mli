@@ -1,0 +1,39 @@
+(** Network-wide semantic checks: rules that need to look at more than
+    one device at a time.  Where {!Config_lint} asks "is this config
+    internally consistent?", this family asks "do these configs agree
+    with each other?".
+
+    Rule codes:
+    - [NET001] (error): OSPF runs on one end of a router-to-router link
+      but not the other — the adjacency can never form (one-sided
+      variant of CFG007, which needs both ends enabled).
+    - [NET002] (warning): both ends of an OSPF adjacency are in the same
+      area but with different interface costs — routing works, but the
+      two directions take different paths.
+    - [NET003] (warning): two configured subnets overlap without being
+      equal — longest-prefix match silently splits what reads like one
+      network.
+    - [NET004] (error): a static-route next hop (or default gateway) is
+      on a connected subnet, but no device in the network owns the
+      address — traffic dies at address resolution.  (CFG006 covers the
+      off-subnet case.)
+    - [NET005] (error): a static route's next-hop device routes the same
+      (overlapping) prefix straight back — a two-device forwarding
+      loop.
+    - [NET006] (error): the two switchports of a link carry different
+      VLAN sets — traffic on the difference is silently dropped. *)
+
+open Heimdall_control
+open Heimdall_net
+
+val check_link : Network.t -> Topology.link -> Diagnostic.t list
+(** NET001, NET002 and NET006 for one cable.  Safe to fan out across
+    engine domains — one call per link, no shared state. *)
+
+val check_device_routes : Network.t -> string -> Diagnostic.t list
+(** NET004 and NET005 for one device's static routes and default
+    gateway.  Reads other devices' configs but mutates nothing — safe to
+    fan out. *)
+
+val overlapping_subnets : Network.t -> Diagnostic.t list
+(** NET003, one diagnostic per overlapping (unequal) subnet pair. *)

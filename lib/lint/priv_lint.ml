@@ -136,3 +136,15 @@ let check ?network t =
     match network with None -> [] | Some net -> unknown_resources net t
   in
   List.sort Diagnostic.compare (unreachable_statements t @ net_findings @ over_broad t)
+
+(* PRV004: the grant is broader than what the ticket's changes actually
+   exercised — the semantic over-grant analysis (Priv_sem) rendered as
+   lint findings. *)
+let check_usage ?label ~network ~spec ~changes () =
+  List.map
+    (fun (o : Heimdall_sem.Priv_sem.over_grant) ->
+      Diagnostic.v ?device:label ~obj:"privilege" ~line:(o.index + 1) ~code:"PRV004"
+        Diagnostic.Warning
+        (Printf.sprintf "over-grant: %s" (Heimdall_sem.Priv_sem.over_grant_to_string o)))
+    (Heimdall_sem.Priv_sem.over_grants ~network ~spec ~changes)
+  |> List.sort Diagnostic.compare

@@ -110,21 +110,46 @@ let proto_subsumes outer inner =
   | Proto a, Proto b -> a = b
   | Proto _, Any_proto -> false
 
+let rule_packets r =
+  let protos = match r.proto with Any_proto -> None | Proto p -> Some [ p ] in
+  let port = function
+    | Any_port -> None
+    | Eq p -> Some (p, p)
+    | Range (lo, hi) -> Some (lo, hi)
+  in
+  Packet_set.cube ?protos ?src_port:(port r.src_port) ?dst_port:(port r.dst_port)
+    ~src:r.src ~dst:r.dst ()
+
+(* Per-dimension subsumption is exact for a pair of rules (each rule is
+   one hypercube) and costs a handful of comparisons — it is the fast
+   path.  The packet-set fallback only ever adds the degenerate cases a
+   dimension check cannot see (an empty rule is subsumed by anything). *)
 let rule_subsumes outer inner =
-  proto_subsumes outer.proto inner.proto
+  (proto_subsumes outer.proto inner.proto
   && Prefix.subsumes outer.src inner.src
   && Prefix.subsumes outer.dst inner.dst
   && port_subsumes outer.src_port inner.src_port
-  && port_subsumes outer.dst_port inner.dst_port
+  && port_subsumes outer.dst_port inner.dst_port)
+  || Packet_set.subset (rule_packets inner) (rule_packets outer)
 
+(* Exact shadowing on the packet-set algebra: a rule is dead iff its
+   match set minus the union of all earlier rules is empty — which the
+   pairwise check under-approximates (it cannot see a union of earlier
+   rules jointly covering a later one). *)
 let shadowed_rules t =
-  let rec go earlier = function
+  let rec go covered earlier = function
     | [] -> []
     | r :: rest ->
-        let shadowed = List.exists (fun e -> rule_subsumes e r) earlier in
-        if shadowed then r :: go (r :: earlier) rest else go (r :: earlier) rest
+        let rs = rule_packets r in
+        let shadowed =
+          List.exists (fun e -> rule_subsumes e r) earlier
+          || Packet_set.subset rs covered
+        in
+        let covered = Packet_set.union covered rs in
+        if shadowed then r :: go covered (r :: earlier) rest
+        else go covered (r :: earlier) rest
   in
-  go [] t.rules
+  go Packet_set.empty [] t.rules
 
 let equal a b = a.name = b.name && a.rules = b.rules
 

@@ -68,13 +68,19 @@ val port_subsumes : port_match -> port_match -> bool
 (** [port_subsumes outer inner]: every port matched by [inner] is matched
     by [outer]. *)
 
+val rule_packets : rule -> Packet_set.t
+(** The exact packet set a rule matches (its action is ignored). *)
+
 val rule_subsumes : rule -> rule -> bool
 (** [rule_subsumes outer inner]: every flow matched by [inner] is matched
-    by [outer] (actions are not compared). *)
+    by [outer] (actions are not compared).  Decided on the packet-set
+    algebra, with a cheap per-dimension fast path. *)
 
 val shadowed_rules : t -> rule list
-(** Rules that can never fire because an earlier rule matches a superset of
-    their traffic.  Useful lint for technician-made edits. *)
+(** Rules that can never fire: the rule's match set minus the union of all
+    earlier rules is empty.  Exact on the packet-set algebra — a rule
+    jointly covered by several earlier rules is reported even when no
+    single earlier rule subsumes it. *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,274 @@
+type cube = {
+  src : Prefix.t;
+  dst : Prefix.t;
+  protos : int;
+  sp_lo : int;
+  sp_hi : int;
+  dp_lo : int;
+  dp_hi : int;
+}
+
+type t = cube list
+
+let max_port = 65535
+let all_protos = 0b111
+
+let proto_bit = function Flow.Icmp -> 1 | Flow.Tcp -> 2 | Flow.Udp -> 4
+
+let proto_of_bit = function
+  | 1 -> Flow.Icmp
+  | 2 -> Flow.Tcp
+  | 4 -> Flow.Udp
+  | _ -> invalid_arg "Packet_set.proto_of_bit"
+
+let lowest_proto mask =
+  if mask land 1 <> 0 then Flow.Icmp
+  else if mask land 2 <> 0 then Flow.Tcp
+  else Flow.Udp
+
+let cube_nonempty c = c.protos <> 0 && c.sp_lo <= c.sp_hi && c.dp_lo <= c.dp_hi
+
+let compare_cube a b =
+  match Prefix.compare a.src b.src with
+  | 0 -> (
+      match Prefix.compare a.dst b.dst with
+      | 0 -> (
+          match Int.compare a.protos b.protos with
+          | 0 -> (
+              match Int.compare a.sp_lo b.sp_lo with
+              | 0 -> (
+                  match Int.compare a.sp_hi b.sp_hi with
+                  | 0 -> (
+                      match Int.compare a.dp_lo b.dp_lo with
+                      | 0 -> Int.compare a.dp_hi b.dp_hi
+                      | c -> c)
+                  | c -> c)
+              | c -> c)
+          | c -> c)
+      | c -> c)
+  | c -> c
+
+let empty = []
+
+let full_cube =
+  {
+    src = Prefix.any;
+    dst = Prefix.any;
+    protos = all_protos;
+    sp_lo = 0;
+    sp_hi = max_port;
+    dp_lo = 0;
+    dp_hi = max_port;
+  }
+
+let full = [ full_cube ]
+
+(* ---------------- single-dimension helpers ---------------- *)
+
+let prefix_inter p q =
+  if Prefix.subsumes p q then Some q
+  else if Prefix.subsumes q p then Some p
+  else None
+
+(* Addresses of [p] outside [q], as a prefix list (at most 32 entries:
+   the siblings along the path from [p] down to [q]). *)
+let rec prefix_diff p q =
+  if Prefix.subsumes q p then []
+  else if not (Prefix.overlaps p q) then [ p ]
+  else
+    match Prefix.split p with
+    | None -> []
+    | Some (lo, hi) ->
+        if Prefix.overlaps lo q then hi :: prefix_diff lo q
+        else lo :: prefix_diff hi q
+
+let interval_inter (lo, hi) (lo', hi') = (max lo lo', min hi hi')
+
+(* Parts of [lo, hi] outside [lo', hi']: at most two intervals. *)
+let interval_diff (lo, hi) (lo', hi') =
+  (if lo < lo' then [ (lo, min hi (lo' - 1)) ] else [])
+  @ if hi > hi' then [ (max lo (hi' + 1), hi) ] else []
+
+(* ---------------- cube algebra ---------------- *)
+
+let inter_cube a b =
+  match (prefix_inter a.src b.src, prefix_inter a.dst b.dst) with
+  | Some src, Some dst ->
+      let sp_lo, sp_hi = interval_inter (a.sp_lo, a.sp_hi) (b.sp_lo, b.sp_hi) in
+      let dp_lo, dp_hi = interval_inter (a.dp_lo, a.dp_hi) (b.dp_lo, b.dp_hi) in
+      let c = { src; dst; protos = a.protos land b.protos; sp_lo; sp_hi; dp_lo; dp_hi } in
+      if cube_nonempty c then Some c else None
+  | _ -> None
+
+(* [a] minus [b], as disjoint cubes: peel one dimension at a time —
+   the parts of [a] outside [b] along the dimension are emitted whole,
+   then the search narrows to the intersection slab and proceeds to the
+   next dimension. *)
+let diff_cube a b =
+  match inter_cube a b with
+  | None -> [ a ]
+  | Some _ ->
+      let pieces = ref [] in
+      let emit c = if cube_nonempty c then pieces := c :: !pieces in
+      List.iter (fun s -> emit { a with src = s }) (prefix_diff a.src b.src);
+      let a = { a with src = Option.get (prefix_inter a.src b.src) } in
+      List.iter (fun d -> emit { a with dst = d }) (prefix_diff a.dst b.dst);
+      let a = { a with dst = Option.get (prefix_inter a.dst b.dst) } in
+      let outside = a.protos land lnot b.protos land all_protos in
+      if outside <> 0 then emit { a with protos = outside };
+      let a = { a with protos = a.protos land b.protos } in
+      List.iter
+        (fun (lo, hi) -> emit { a with sp_lo = lo; sp_hi = hi })
+        (interval_diff (a.sp_lo, a.sp_hi) (b.sp_lo, b.sp_hi));
+      let sp_lo, sp_hi = interval_inter (a.sp_lo, a.sp_hi) (b.sp_lo, b.sp_hi) in
+      let a = { a with sp_lo; sp_hi } in
+      List.iter
+        (fun (lo, hi) -> emit { a with dp_lo = lo; dp_hi = hi })
+        (interval_diff (a.dp_lo, a.dp_hi) (b.dp_lo, b.dp_hi));
+      !pieces
+
+(* ---------------- canonicalization ---------------- *)
+
+(* Siblings: two prefixes that are the halves of one parent. *)
+let sibling_parent p q =
+  if Prefix.length p <> Prefix.length q || Prefix.length p = 0 then None
+  else
+    let parent = Prefix.make (Prefix.network p) (Prefix.length p - 1) in
+    match Prefix.split parent with
+    | Some (lo, hi)
+      when (Prefix.equal lo p && Prefix.equal hi q)
+           || (Prefix.equal lo q && Prefix.equal hi p) ->
+        Some parent
+    | _ -> None
+
+(* Merge two cubes into one when they differ in exactly one dimension and
+   are adjacent there; [None] when no lossless merge exists. *)
+let merge_cube a b =
+  let same_src = Prefix.equal a.src b.src and same_dst = Prefix.equal a.dst b.dst in
+  let same_protos = a.protos = b.protos in
+  let same_sp = a.sp_lo = b.sp_lo && a.sp_hi = b.sp_hi in
+  let same_dp = a.dp_lo = b.dp_lo && a.dp_hi = b.dp_hi in
+  if same_dst && same_protos && same_sp && same_dp then
+    match sibling_parent a.src b.src with
+    | Some parent -> Some { a with src = parent }
+    | None -> None
+  else if same_src && same_protos && same_sp && same_dp then
+    match sibling_parent a.dst b.dst with
+    | Some parent -> Some { a with dst = parent }
+    | None -> None
+  else if same_src && same_dst && same_sp && same_dp then
+    Some { a with protos = a.protos lor b.protos }
+  else if same_src && same_dst && same_protos && same_dp then
+    if a.sp_hi + 1 = b.sp_lo then Some { a with sp_hi = b.sp_hi }
+    else if b.sp_hi + 1 = a.sp_lo then Some { a with sp_lo = b.sp_lo }
+    else None
+  else if same_src && same_dst && same_protos && same_sp then
+    if a.dp_hi + 1 = b.dp_lo then Some { a with dp_hi = b.dp_hi }
+    else if b.dp_hi + 1 = a.dp_lo then Some { a with dp_lo = b.dp_lo }
+    else None
+  else None
+
+(* One coalescing sweep to fixpoint: cheap at the cube counts ACL
+   compilation produces, and it keeps diff/union chains from snowballing. *)
+let canonical cubes =
+  let rec absorb c = function
+    | [] -> None
+    | d :: rest -> (
+        match merge_cube c d with
+        | Some m -> Some (m, rest)
+        | None -> (
+            match absorb c rest with
+            | Some (m, rest') -> Some (m, d :: rest')
+            | None -> None))
+  in
+  let rec coalesce acc = function
+    | [] -> acc
+    | c :: rest -> (
+        match absorb c rest with
+        | Some (m, rest') -> coalesce acc (m :: rest')
+        | None -> (
+            match absorb c acc with
+            | Some (m, acc') -> coalesce acc' (m :: rest)
+            | None -> coalesce (c :: acc) rest))
+  in
+  List.sort compare_cube (coalesce [] (List.filter cube_nonempty cubes))
+
+(* ---------------- set operations ---------------- *)
+
+let is_empty t = t = []
+
+let cube ?(protos = [ Flow.Icmp; Flow.Tcp; Flow.Udp ]) ?(src_port = (0, max_port))
+    ?(dst_port = (0, max_port)) ~src ~dst () =
+  let clamp (lo, hi) = (max 0 lo, min max_port hi) in
+  let sp_lo, sp_hi = clamp src_port and dp_lo, dp_hi = clamp dst_port in
+  let mask = List.fold_left (fun m p -> m lor proto_bit p) 0 protos in
+  canonical [ { src; dst; protos = mask; sp_lo; sp_hi; dp_lo; dp_hi } ]
+
+let inter a b =
+  canonical (List.concat_map (fun ca -> List.filter_map (inter_cube ca) b) a)
+
+let diff a b =
+  canonical
+    (List.concat_map
+       (fun ca -> List.fold_left (fun ps cb -> List.concat_map (fun p -> diff_cube p cb) ps) [ ca ] b)
+       a)
+
+let union a b = canonical (a @ List.concat_map (fun cb -> List.fold_left (fun ps ca -> List.concat_map (fun p -> diff_cube p ca) ps) [ cb ] a) b)
+
+let complement t = diff full t
+let subset a b = is_empty (diff a b)
+let equal a b = subset a b && subset b a
+
+let mem t (f : Flow.t) =
+  List.exists
+    (fun c ->
+      c.protos land proto_bit f.proto <> 0
+      && Prefix.contains c.src f.src && Prefix.contains c.dst f.dst
+      && c.sp_lo <= f.src_port && f.src_port <= c.sp_hi
+      && c.dp_lo <= f.dst_port && f.dst_port <= c.dp_hi)
+    t
+
+let sample = function
+  | [] -> None
+  | c :: _ ->
+      Some
+        (Flow.make ~proto:(lowest_proto c.protos) ~src_port:c.sp_lo ~dst_port:c.dp_lo
+           (Prefix.network c.src) (Prefix.network c.dst))
+
+let cubes t = t
+let cube_count = List.length
+
+let approx_size t =
+  List.fold_left
+    (fun acc c ->
+      let popcount = (c.protos land 1) + ((c.protos lsr 1) land 1) + ((c.protos lsr 2) land 1) in
+      acc
+      +. float_of_int (Prefix.hosts_count c.src)
+         *. float_of_int (Prefix.hosts_count c.dst)
+         *. float_of_int popcount
+         *. float_of_int (c.sp_hi - c.sp_lo + 1)
+         *. float_of_int (c.dp_hi - c.dp_lo + 1))
+    0.0 t
+
+let interval_to_string (lo, hi) =
+  if lo = 0 && hi = max_port then "*"
+  else if lo = hi then string_of_int lo
+  else Printf.sprintf "%d-%d" lo hi
+
+let cube_to_string c =
+  let protos =
+    if c.protos = all_protos then "ip"
+    else
+      String.concat ","
+        (List.filter_map
+           (fun b -> if c.protos land b <> 0 then Some (Flow.proto_to_string (proto_of_bit b)) else None)
+           [ 1; 2; 4 ])
+  in
+  Printf.sprintf "%s %s:%s -> %s:%s" protos (Prefix.to_string c.src)
+    (interval_to_string (c.sp_lo, c.sp_hi))
+    (Prefix.to_string c.dst)
+    (interval_to_string (c.dp_lo, c.dp_hi))
+
+let to_string = function
+  | [] -> "<empty>"
+  | t -> String.concat " | " (List.map cube_to_string t)

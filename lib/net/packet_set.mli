@@ -1,0 +1,83 @@
+(** Exact packet sets over header space.
+
+    A packet set is a finite union of {e hypercubes}; each hypercube is
+    the product of a source prefix, a destination prefix, a protocol
+    subset and two inclusive port intervals.  ACL rules, and therefore
+    whole ACLs, denote packet sets — the algebra makes semantic questions
+    ("is this rule dead?", "are these two lists equivalent?", "what
+    traffic did this edit open?") decidable exactly, where pairwise rule
+    subsumption is only a sound approximation.
+
+    The representation is canonical enough for deterministic output: the
+    cubes of a set are pairwise disjoint, individually non-empty, and
+    sorted.  Semantic equality is still decided by double inclusion
+    ([equal]), because unions of hypercubes have no unique minimal form. *)
+
+type cube = private {
+  src : Prefix.t;
+  dst : Prefix.t;
+  protos : int;  (** Bitmask over {!Flow.proto}: icmp=1, tcp=2, udp=4. *)
+  sp_lo : int;
+  sp_hi : int;  (** Source-port interval, inclusive, within [0, 65535]. *)
+  dp_lo : int;
+  dp_hi : int;  (** Destination-port interval, inclusive. *)
+}
+
+type t
+(** A packet set: disjoint, sorted, non-empty cubes. *)
+
+val max_port : int
+(** 65535 — the top of the port dimension. *)
+
+val empty : t
+
+val full : t
+(** Every packet: any src, any dst, all protocols, all ports. *)
+
+val cube :
+  ?protos:Flow.proto list ->
+  ?src_port:int * int ->
+  ?dst_port:int * int ->
+  src:Prefix.t ->
+  dst:Prefix.t ->
+  unit ->
+  t
+(** One hypercube.  [protos] defaults to all three protocols; the port
+    intervals default to the full range and are clamped to [0, 65535].
+    An empty protocol list or inverted interval yields {!empty}. *)
+
+val inter : t -> t -> t
+val union : t -> t -> t
+val diff : t -> t -> t
+
+val complement : t -> t
+(** [diff full t]. *)
+
+val is_empty : t -> bool
+
+val subset : t -> t -> bool
+(** [subset a b]: every packet of [a] is in [b]. *)
+
+val equal : t -> t -> bool
+(** Semantic equality (double inclusion). *)
+
+val mem : t -> Flow.t -> bool
+(** Exact membership of a concrete flow. *)
+
+val sample : t -> Flow.t option
+(** A deterministic witness packet — the least packet of the least cube —
+    or [None] on the empty set. *)
+
+val cubes : t -> cube list
+(** The canonical cube list (disjoint, sorted). *)
+
+val cube_count : t -> int
+
+val approx_size : t -> float
+(** Number of packets in the set, as a float (the space has [2^101]
+    points, far beyond [int]). *)
+
+val to_string : t -> string
+(** Render as a union of cube descriptions, e.g.
+    ["tcp 10.0.0.0/8:* -> 10.1.0.0/16:80-443"]; ["<empty>"] for the
+    empty set. *)

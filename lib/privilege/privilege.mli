@@ -53,6 +53,10 @@ type request = { action : Action.t; node : string; req_iface : string option }
 
 val request : ?iface:string -> Action.t -> string -> request
 
+val predicate_matches : predicate -> request -> bool
+(** Whether one predicate matches the request (used to attribute a
+    decision to the predicate that made it). *)
+
 val evaluate : t -> request -> effect
 (** First matching predicate decides; no match means [Deny]. *)
 

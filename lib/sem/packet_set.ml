@@ -1,0 +1,3 @@
+(* The algebra itself lives in Heimdall_net (so Acl can be defined on
+   it); Heimdall_sem re-exports it as the semantic layer's vocabulary. *)
+include Heimdall_net.Packet_set

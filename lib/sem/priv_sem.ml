@@ -1,0 +1,94 @@
+open Heimdall_control
+open Heimdall_privilege
+open Heimdall_config
+
+let exercised changes =
+  List.sort_uniq compare
+    (List.map
+       (fun (c : Change.t) -> (Change.op_action_name c.op, c.node))
+       changes)
+
+let minimal_spec changes =
+  let pairs = exercised changes in
+  let actions = List.sort_uniq String.compare (List.map fst pairs) in
+  Privilege.of_predicates
+    (List.map
+       (fun a ->
+         let nodes = List.filter_map (fun (a', n) -> if a' = a then Some n else None) pairs in
+         Privilege.allow ~actions:[ a ] ~nodes ())
+       actions)
+
+type over_grant = {
+  index : int;
+  predicate : Privilege.predicate;
+  granted : int;
+  used : int;
+  excess : (string * string) list;
+}
+
+(* The universe the spec is judged against: every mutating action of the
+   catalog, on every device it is meaningful for.  For each pair we ask
+   the spec which predicate decides it (first match wins); a pair is
+   charged to its decider, so a broad allow hidden behind an earlier
+   deny is not blamed for traffic it never decides. *)
+let over_grants ~network ~spec ~changes =
+  let used = exercised changes in
+  let universe =
+    List.concat_map
+      (fun node ->
+        match Network.kind node network with
+        | None -> []
+        | Some kind ->
+            List.filter_map
+              (fun a ->
+                if Action.is_read_only a then None else Some (a, node))
+              (Action.available_on kind))
+      (Network.node_names network)
+  in
+  let decider (action, node) =
+    let req = Privilege.request action node in
+    let rec go i = function
+      | [] -> None
+      | p :: rest ->
+          if Privilege.predicate_matches p req then Some (i, p) else go (i + 1) rest
+    in
+    go 0 spec.Privilege.predicates
+  in
+  let by_predicate = Hashtbl.create 8 in
+  List.iter
+    (fun pair ->
+      match decider pair with
+      | Some (i, p) when p.Privilege.effect = Privilege.Allow ->
+          let prev = Option.value (Hashtbl.find_opt by_predicate i) ~default:(p, []) in
+          Hashtbl.replace by_predicate i (p, pair :: snd prev)
+      | Some _ | None -> ())
+    universe;
+  Hashtbl.fold
+    (fun index (predicate, pairs) acc ->
+      let granted = List.length pairs in
+      let excess =
+        List.sort compare (List.filter (fun pair -> not (List.mem pair used)) pairs)
+      in
+      if excess = [] then acc
+      else
+        { index; predicate; granted; used = granted - List.length excess; excess }
+        :: acc)
+    by_predicate []
+  |> List.sort (fun a b -> Int.compare a.index b.index)
+
+let over_grant_to_string o =
+  let sample =
+    match o.excess with
+    | [] -> ""
+    | xs ->
+        let shown = List.filteri (fun i _ -> i < 3) xs in
+        Printf.sprintf " (unused e.g. %s%s)"
+          (String.concat ", "
+             (List.map (fun (a, n) -> Printf.sprintf "%s on %s" a n) shown))
+          (if List.length xs > 3 then ", ..." else "")
+  in
+  Printf.sprintf
+    "predicate %d (%s) grants %d mutating action-device pairs but the changes used %d%s"
+    (o.index + 1)
+    (Privilege.predicate_to_string o.predicate)
+    o.granted o.used sample

@@ -1,0 +1,44 @@
+(** Privilege over-grant analysis: least privilege, checked statically.
+
+    A ticket's change list exercises a concrete set of (mutating action,
+    device) pairs.  The spec the admin granted typically allows more —
+    glob patterns over actions and devices.  This module computes the
+    privilege actually exercised, the minimal spec that would have
+    sufficed, and, per allow-predicate, the grants that were never used:
+    the over-grant the paper's least-privilege argument is about.
+
+    Read-only actions ([show.*], [diag.*]) are excluded from the
+    analysis: inspecting the twin is how a technician works, and
+    granting it broadly carries no mutation risk. *)
+
+open Heimdall_control
+open Heimdall_privilege
+open Heimdall_config
+
+val exercised : Change.t list -> (string * string) list
+(** The deduplicated, sorted (action, node) pairs the change list
+    actually performs, via {!Heimdall_config.Change.op_action_name}. *)
+
+val minimal_spec : Change.t list -> Privilege.t
+(** The least spec allowing exactly the exercised pairs: one allow
+    predicate per action, listing only the nodes it was used on. *)
+
+(** One allow-predicate that grants more than the changes used. *)
+type over_grant = {
+  index : int;  (** Position of the predicate in the spec (0-based). *)
+  predicate : Privilege.predicate;
+  granted : int;  (** Mutating (action, node) pairs this predicate decides to allow. *)
+  used : int;  (** Of those, how many the changes exercised. *)
+  excess : (string * string) list;
+      (** The unexercised (action, node) pairs, sorted — the over-grant. *)
+}
+
+val over_grants :
+  network:Network.t -> spec:Privilege.t -> changes:Change.t list -> over_grant list
+(** For every allow predicate of [spec], the mutating (action, node)
+    pairs over [network]'s devices (restricted to actions meaningful on
+    each device's kind) for which that predicate is the first-match
+    decider, minus the pairs [changes] exercised.  Predicates with no
+    excess — and pure read-only grants — produce no entry. *)
+
+val over_grant_to_string : over_grant -> string

@@ -10,6 +10,7 @@ let () =
       ("verify", Test_verify.suite);
       ("privilege", Test_privilege.suite);
       ("lint", Test_lint.suite);
+      ("sem", Test_sem.suite);
       ("obs", Test_obs.suite);
       ("twin", Test_twin.suite);
       ("enforcer", Test_enforcer.suite);
