@@ -33,7 +33,11 @@ bench:
 
 # The two report sections CI persists on every run: static-analysis and
 # verify-engine wall times, merged by key into bench/report.json (so one
-# section never clobbers the other).
+# section never clobbers the other).  The engine report is also a gate —
+# it exits non-zero unless verdicts are byte-identical across domain
+# counts, the dataplane caches actually hit, a warm persistent cache
+# rebuilds nothing, and the N-domain sweep beats 1 domain (speedup
+# criterion skipped, and recorded as skipped, on single-core hosts).
 bench-smoke: build
 	dune exec bench/main.exe -- lint engine
 

@@ -94,40 +94,94 @@ let report_fig9 () =
   print_string (Heimdall_verify.Engine.render_stats (Heimdall_verify.Engine.stats engine));
   print_newline ()
 
+(* Set by [report_engine] when its pass/fail gate trips; the entry point
+   turns it into a non-zero exit so `make bench-smoke` (and CI) fail. *)
+let gate_failed = ref false
+
 let report_engine () =
   let open Heimdall_verify in
   print_string "== Verify engine: 1-domain vs N-domain university sweep ==\n";
   let net, policies = Experiments.university () in
-  let run domains =
+  let cache_dir = Filename.temp_dir "heimdall-dpcache" "" in
+  (* Each run is one engine doing the sweep twice: the cold pass builds
+     and caches, the warm pass must be answered from the caches.  The
+     engine is shut down so its helper domains don't linger. *)
+  let run ?cache_dir domains =
     let obs = Heimdall_obs.Obs.create () in
-    let engine = Engine.create ~domains ~obs () in
-    let summaries, wall =
+    let engine = Engine.create ~domains ~obs ?cache_dir () in
+    let cold_s, cold =
       Heimdall_msp.Timing.elapsed (fun () ->
           Metrics.sweep_all ~engine ~production:net ~policies ())
     in
-    (summaries, wall, Engine.stats engine, obs)
+    let warm_s, warm =
+      Heimdall_msp.Timing.elapsed (fun () ->
+          Metrics.sweep_all ~engine ~production:net ~policies ())
+    in
+    let stats = Engine.stats engine in
+    Engine.shutdown engine;
+    (cold_s, warm_s, cold, warm, stats, obs)
   in
-  let s1, wall1, stats1, _ = run 1 in
+  let s1, s1w, cold1, warm1, stats1, _ = run ~cache_dir 1 in
   (* At least 2 so the parallel path is exercised even on a 1-core host
      (where no speedup can be expected). *)
   let n = max 2 (Engine.default_domains ()) in
-  let sn, walln, statsn, obsn = run n in
-  Printf.printf "1 domain : %.3f s\n%s" wall1 (Engine.render_stats stats1);
-  Printf.printf "%d domains: %.3f s  (%.2fx speedup)\n%s" n walln
-    (wall1 /. Float.max 1e-9 walln)
+  let sn, snw, coldn, warmn, statsn, obsn = run n in
+  (* A fresh engine pointed at the populated on-disk cache must answer
+     every dataplane from disk — zero builds. *)
+  let sp, _, coldp, _, statsp, _ = run ~cache_dir 1 in
+  let speedup = cold1 /. Float.max 1e-9 coldn in
+  Printf.printf "1 domain : cold %.3f s, warm %.3f s\n%s" cold1 warm1
+    (Engine.render_stats stats1);
+  Printf.printf "%d domains: cold %.3f s, warm %.3f s  (%.2fx cold speedup)\n%s" n
+    coldn warmn speedup
     (Engine.render_stats statsn);
-  Printf.printf "verdicts identical across domain counts: %b\n" (s1 = sn);
+  Printf.printf "persistent-cache run: cold %.3f s\n%s" coldp
+    (Engine.render_stats statsp);
+  (* ---- gate ---- *)
+  let verdicts_ok = s1 = sn && s1 = s1w && sn = snw && s1 = sp in
+  let cache_hits_ok = statsn.Engine.dataplane_cache_hits > 0 in
+  let persistent_ok =
+    statsp.Engine.dataplanes_built = 0 && statsp.Engine.dataplane_persistent_hits > 0
+  in
+  let single_core = Engine.default_domains () < 2 in
+  let speedup_ok = speedup > 1.0 in
+  let passed =
+    verdicts_ok && cache_hits_ok && persistent_ok && (speedup_ok || single_core)
+  in
+  Printf.printf "verdicts identical across domain counts and cache states: %b\n"
+    verdicts_ok;
+  Printf.printf "dataplane cache hits > 0: %b\n" cache_hits_ok;
+  Printf.printf "warm persistent cache rebuilds nothing: %b\n" persistent_ok;
+  if single_core && not speedup_ok then
+    Printf.printf "speedup gate skipped: single-core host (%.2fx measured)\n" speedup
+  else Printf.printf "N-domain speedup > 1.0: %b (%.2fx)\n" speedup_ok speedup;
+  Printf.printf "engine gate: %s\n" (if passed then "PASS" else "FAIL");
+  if not passed then gate_failed := true;
   let open Heimdall_json in
   persist_report ~key:"engine"
     (Json.Obj
        [
-         ("wall_s_1_domain", Json.Float wall1);
-         ("wall_s_n_domains", Json.Float walln);
+         ("wall_s_1_domain", Json.Float cold1);
+         ("wall_s_1_domain_warm", Json.Float warm1);
+         ("wall_s_n_domains", Json.Float coldn);
+         ("wall_s_n_domains_warm", Json.Float warmn);
+         ("wall_s_persistent_cold", Json.Float coldp);
          ("domains", Json.Int n);
-         ("speedup", Json.Float (wall1 /. Float.max 1e-9 walln));
-         ("verdicts_identical", Json.Bool (s1 = sn));
+         ("speedup", Json.Float speedup);
+         ("verdicts_identical", Json.Bool verdicts_ok);
+         ( "gate",
+           Json.Obj
+             [
+               ("passed", Json.Bool passed);
+               ("verdicts_identical", Json.Bool verdicts_ok);
+               ("dataplane_cache_hits_positive", Json.Bool cache_hits_ok);
+               ("persistent_cache_rebuilds_nothing", Json.Bool persistent_ok);
+               ("speedup_above_1", Json.Bool speedup_ok);
+               ("speedup_gate_skipped_single_core", Json.Bool (single_core && not speedup_ok));
+             ] );
          ("stats_1_domain", Engine.stats_to_json stats1);
          ("stats_n_domains", Engine.stats_to_json statsn);
+         ("stats_persistent", Engine.stats_to_json statsp);
          ("metrics_n_domains", Heimdall_obs.Metrics.to_json obsn.Heimdall_obs.Obs.metrics);
        ]);
   print_newline ()
@@ -488,7 +542,7 @@ let reports =
   ]
 
 let () =
-  match Array.to_list Sys.argv with
+  (match Array.to_list Sys.argv with
   | _ :: [] -> List.iter (fun (_, f) -> f ()) reports
   | _ :: names ->
       List.iter
@@ -500,4 +554,5 @@ let () =
                 (String.concat ", " (List.map fst reports));
               exit 1)
         names
-  | [] -> assert false
+  | [] -> assert false);
+  if !gate_failed then exit 1

@@ -147,6 +147,17 @@ let metrics_flag =
     & info [ "metrics" ]
         ~doc:"Print the metrics registry in Prometheus text format (instead of JSON).")
 
+(* Shared by every subcommand that creates a verify engine. *)
+let dp_cache_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "dp-cache" ] ~docv:"DIR"
+        ~doc:
+          "Persist computed dataplanes under $(docv) (created on demand) and reuse \
+           them across runs.  Entries are keyed by the network's structural digest, \
+           so edits invalidate exactly the affected networks.")
+
 (* Drain an Obs context to the terminal (span tree + metrics dump) and,
    when requested, to a JSONL trace file.  Shared by [obs] and [ticket]. *)
 let dump_obs ?trace_out ~metrics (obs : Heimdall_obs.Obs.t) =
@@ -191,7 +202,8 @@ let obs_cmd =
       & info [ "domains" ] ~docv:"N"
           ~doc:"Engine domain pool for the instrumented run (default: auto).")
   in
-  let run ({ Experiments.net; policies; _ } as sc) issue_name trace_out metrics domains =
+  let run ({ Experiments.net; policies; _ } as sc) issue_name trace_out metrics domains
+      cache_dir =
     let issues =
       match issue_name with
       | None -> sc.Experiments.issues
@@ -203,7 +215,7 @@ let obs_cmd =
               exit 1)
     in
     let obs = Heimdall_obs.Obs.create () in
-    let engine = Heimdall_verify.Engine.create ?domains ~obs () in
+    let engine = Heimdall_verify.Engine.create ?domains ~obs ?cache_dir () in
     List.iter
       (fun (issue : Heimdall_msp.Issue.t) ->
         let run =
@@ -221,7 +233,9 @@ let obs_cmd =
        ~doc:
          "Replay a scenario's issues through the instrumented Heimdall workflow and \
           print the span tree, structured events and metrics")
-    Term.(const run $ network_arg $ issue_opt_arg $ trace_out_arg $ metrics_flag $ domains_arg)
+    Term.(
+      const run $ network_arg $ issue_opt_arg $ trace_out_arg $ metrics_flag $ domains_arg
+      $ dp_cache_arg)
 
 (* ---------------- ticket ---------------- *)
 
@@ -385,7 +399,7 @@ let print_report_and_exit ~name ~json ~header findings_filtered ~fail =
 
 let lint_cmd =
   let open Heimdall_lint in
-  let run target json severity domains rules =
+  let run target json severity domains rules cache_dir =
     match (rules, target) with
     | true, _ -> print_lint_rules ()
     | false, None ->
@@ -393,7 +407,7 @@ let lint_cmd =
         exit 124
     | false, Some target ->
         let name, net, issues = resolve_lint_target target in
-        let engine = Heimdall_verify.Engine.create ?domains () in
+        let engine = Heimdall_verify.Engine.create ?domains ?cache_dir () in
         let config_findings = Lint.check_network ~engine net in
         (* Also lint the privilege spec Heimdall would generate for each of
            the scenario's issues — the third analyzer family. *)
@@ -427,7 +441,7 @@ let lint_cmd =
           exit non-zero on error-severity findings")
     Term.(
       const run $ lint_target_arg $ lint_json_flag $ lint_severity_arg $ lint_domains_arg
-      $ lint_rules_flag)
+      $ lint_rules_flag $ dp_cache_arg)
 
 (* ---------------- analyze ---------------- *)
 
@@ -474,7 +488,7 @@ let analyze_cmd =
             "Self-test: inject a union-shadow ACL defect that only the packet-set \
              algebra can catch, then analyse.  The run must report ACL004.")
   in
-  let run target json severity domains rules seed_defect =
+  let run target json severity domains rules seed_defect cache_dir =
     match (rules, target) with
     | true, _ -> print_lint_rules ()
     | false, None ->
@@ -488,7 +502,7 @@ let analyze_cmd =
             (net, Some (node, acl))
           else (net, None)
         in
-        let engine = Heimdall_verify.Engine.create ?domains () in
+        let engine = Heimdall_verify.Engine.create ?domains ?cache_dir () in
         let net_findings = Lint.check_network ~engine net in
         (* Per issue: lint the generated spec, then replay the scripted fix
            in a twin session and ask the over-grant analyzer (PRV004) what
@@ -547,7 +561,7 @@ let analyze_cmd =
           detection (PRV004); exit non-zero on error-severity findings")
     Term.(
       const run $ lint_target_arg $ lint_json_flag $ lint_severity_arg $ lint_domains_arg
-      $ lint_rules_flag $ seed_defect_flag)
+      $ lint_rules_flag $ seed_defect_flag $ dp_cache_arg)
 
 (* ---------------- experiment ---------------- *)
 
@@ -651,7 +665,7 @@ let chaos_cmd =
       & info [ "domains" ] ~docv:"N"
           ~doc:"Engine domain pool (default: auto; verdicts do not depend on it).")
   in
-  let run sc issue_name seed max_attempts trace_out metrics domains =
+  let run sc issue_name seed max_attempts trace_out metrics domains cache_dir =
     let issues =
       match issue_name with
       | None -> sc.Experiments.issues
@@ -666,7 +680,7 @@ let chaos_cmd =
       if trace_out <> None || metrics then Some (Heimdall_obs.Obs.create ())
       else None
     in
-    let engine = Heimdall_verify.Engine.create ?domains ?obs () in
+    let engine = Heimdall_verify.Engine.create ?domains ?obs ?cache_dir () in
     let results =
       List.map
         (fun issue -> Chaos.run ~engine ?max_attempts ~scenario:sc ~issue ~seed ())
@@ -684,7 +698,7 @@ let chaos_cmd =
           and check that enforcement recovers; exit non-zero if any run fails")
     Term.(
       const run $ network_arg $ issue_opt_arg $ seed_arg $ max_attempts_arg
-      $ trace_out_arg $ metrics_flag $ domains_arg)
+      $ trace_out_arg $ metrics_flag $ domains_arg $ dp_cache_arg)
 
 (* ---------------- shell ---------------- *)
 

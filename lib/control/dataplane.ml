@@ -2,7 +2,15 @@ open Heimdall_net
 open Heimdall_config
 module Smap = Map.Make (String)
 
-type t = { network : Network.t; l2 : L2.t; fibs : Fib.t Smap.t }
+type t = {
+  network : Network.t;
+  l2 : L2.t;
+  fibs : Fib.t Smap.t;
+  (* Pre-merge candidate routes per node, kept so an incremental
+     recompute can reuse a node's built FIB (trie and all) whenever its
+     candidate list comes out identical. *)
+  candidates : Fib.route list Smap.t;
+}
 
 let connected_routes net node =
   match Network.config node net with
@@ -78,23 +86,106 @@ let static_routes net node =
       in
       explicit @ gateway
 
+let node_candidates network ospf bgp node =
+  connected_routes network node
+  @ static_routes network node
+  @ Option.value (List.assoc_opt node ospf) ~default:[]
+  @ Option.value (List.assoc_opt node bgp) ~default:[]
+
 let compute network =
   let l2 = L2.compute network in
   let ospf = Ospf.all_routes network l2 in
   let bgp = Bgp.all_routes network l2 in
-  let fibs =
+  let candidates =
     List.fold_left
-      (fun acc node ->
-        let candidates =
-          connected_routes network node
-          @ static_routes network node
-          @ Option.value (List.assoc_opt node ospf) ~default:[]
-          @ Option.value (List.assoc_opt node bgp) ~default:[]
-        in
-        Smap.add node (Fib.of_candidates candidates) acc)
+      (fun acc node -> Smap.add node (node_candidates network ospf bgp node) acc)
       Smap.empty (Network.node_names network)
   in
-  { network; l2; fibs }
+  let fibs = Smap.map Fib.of_candidates candidates in
+  { network; l2; fibs; candidates }
+
+(* ------------------------------------------------------------------ *)
+(* Incremental recomputation                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The parts of a device config each control-plane stage actually reads.
+   Comparing projections of the changed devices lets [recompute] skip
+   stages that provably cannot have changed — the result must stay
+   byte-identical to a full [compute], so every field a stage consumes
+   must appear in its projection.
+
+   - L2 ([L2.compute]): interface name/enabled/switchport (attachments)
+     and address (SVIs), plus VLAN definitions.
+   - Routing (connected/static/OSPF/BGP): the L2 projection plus OSPF
+     cost/area per interface, [static_routes], [ospf], [bgp] and
+     [default_gateway].
+
+   ACL bodies, ACL bindings, descriptions and secrets appear in neither:
+   they only affect trace-time evaluation, which reads the (updated)
+   network carried in the dataplane. *)
+
+let l2_projection (cfg : Ast.t) =
+  ( List.map
+      (fun (i : Ast.interface) -> (i.if_name, i.addr, i.switchport, i.enabled))
+      cfg.interfaces,
+    cfg.vlans )
+
+let routing_projection (cfg : Ast.t) =
+  ( List.map
+      (fun (i : Ast.interface) ->
+        (i.if_name, i.addr, i.ospf_cost, i.ospf_area, i.switchport, i.enabled))
+      cfg.interfaces,
+    cfg.vlans,
+    cfg.static_routes,
+    cfg.ospf,
+    cfg.bgp,
+    cfg.default_gateway )
+
+let projection_unchanged proj base_net net node =
+  match (Network.config node base_net, Network.config node net) with
+  | Some a, Some b -> proj a = proj b
+  | _ -> false
+
+let recompute ~base network =
+  match Network.changed_devices base.network network with
+  | None -> compute network (* different topology/node set: start over *)
+  | Some changed ->
+      if
+        List.for_all
+          (projection_unchanged routing_projection base.network network)
+          changed
+      then
+        (* Routing inputs untouched (ACL/description/secret-only change):
+           every FIB and the L2 map are provably identical — only the
+           network the tracer consults needs swapping. *)
+        { base with network }
+      else
+        let l2 =
+          if
+            List.for_all
+              (projection_unchanged l2_projection base.network network)
+              changed
+          then base.l2
+          else L2.compute network
+        in
+        let ospf = Ospf.all_routes network l2 in
+        let bgp = Bgp.all_routes network l2 in
+        let candidates =
+          List.fold_left
+            (fun acc node -> Smap.add node (node_candidates network ospf bgp node) acc)
+            Smap.empty (Network.node_names network)
+        in
+        let fibs =
+          Smap.mapi
+            (fun node cands ->
+              (* Same candidates -> same (deterministic) merge: reuse the
+                 already-built trie instead of rebuilding it. *)
+              match (Smap.find_opt node base.candidates, Smap.find_opt node base.fibs) with
+              | Some base_cands, Some base_fib when base_cands = cands -> base_fib
+              | _ -> Fib.of_candidates cands)
+            candidates
+        in
+        { network; l2; fibs; candidates }
 
 let network t = t.network
 let l2 t = t.l2

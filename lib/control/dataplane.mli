@@ -10,6 +10,20 @@ val compute : Network.t -> t
 (** Run the whole control plane: connected + static + OSPF + BGP routes,
     admin-distance selection, per-node FIBs, plus host default gateways. *)
 
+val recompute : base:t -> Network.t -> t
+(** [recompute ~base net] builds the dataplane of [net] reusing work from
+    [base] (the dataplane of a structurally-similar network — typically
+    the production network [net] was derived from by a change set).  The
+    result is byte-identical to [compute net]; only the cost differs:
+
+    - a change that leaves every device's routing inputs untouched (ACL
+      edits, descriptions, secrets) reuses the L2 map and every FIB;
+    - a change that leaves L2 attachments untouched (static routes, OSPF
+      costs) reuses the L2 map and rebuilds only FIBs whose candidate
+      routes actually differ;
+    - anything else — including a different topology or node set — falls
+      back to a full [compute]. *)
+
 val network : t -> Network.t
 val l2 : t -> L2.t
 

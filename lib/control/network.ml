@@ -2,7 +2,20 @@ open Heimdall_net
 open Heimdall_config
 module Smap = Map.Make (String)
 
-type t = { topology : Topology.t; configs : Ast.t Smap.t }
+type t = {
+  topology : Topology.t;
+  configs : Ast.t Smap.t;
+  (* Structural digests, maintained incrementally: [with_config] re-digests
+     exactly one device, so the composed digest of a 1-change network costs
+     one device marshal instead of the whole network.  Configs and
+     topologies are closure-free structural data, so marshalled-bytes
+     digests are sound structural keys. *)
+  topo_digest : string;
+  cfg_digests : string Smap.t;
+}
+
+let digest_of_config (cfg : Ast.t) = Digest.string (Marshal.to_string cfg [])
+let digest_of_topology (topo : Topology.t) = Digest.string (Marshal.to_string topo [])
 
 let make topo configs =
   let names = Topology.node_names topo in
@@ -24,7 +37,12 @@ let make topo configs =
       if not (Smap.mem n map) then
         invalid_arg (Printf.sprintf "Network.make: node %s has no config" n))
     names;
-  { topology = topo; configs = map }
+  {
+    topology = topo;
+    configs = map;
+    topo_digest = digest_of_topology topo;
+    cfg_digests = Smap.map digest_of_config map;
+  }
 
 let topology t = t.topology
 let config name t = Smap.find_opt name t.configs
@@ -43,7 +61,45 @@ let kind name t =
 let with_config name cfg t =
   if not (Smap.mem name t.configs) then
     invalid_arg (Printf.sprintf "Network.with_config: unknown node %s" name);
-  { t with configs = Smap.add name cfg t.configs }
+  {
+    t with
+    configs = Smap.add name cfg t.configs;
+    cfg_digests = Smap.add name (digest_of_config cfg) t.cfg_digests;
+  }
+
+let device_digest name t = Smap.find_opt name t.cfg_digests
+
+let digest t =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf t.topo_digest;
+  Smap.iter
+    (fun name d ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '\x00';
+      Buffer.add_string buf d)
+    t.cfg_digests;
+  Digest.string (Buffer.contents buf)
+
+exception Different_nodes
+
+let changed_devices a b =
+  (* Same topology and node set required: a device-by-device digest
+     comparison is only meaningful when the networks line up. *)
+  if
+    (not (String.equal a.topo_digest b.topo_digest))
+    || Smap.cardinal a.cfg_digests <> Smap.cardinal b.cfg_digests
+  then None
+  else
+    match
+      Smap.fold
+        (fun name d acc ->
+          match Smap.find_opt name b.cfg_digests with
+          | None -> raise Different_nodes
+          | Some d' -> if String.equal d d' then acc else name :: acc)
+        a.cfg_digests []
+    with
+    | changed -> Some (List.rev changed)
+    | exception Different_nodes -> None
 
 let apply_changes changes t =
   match Change.apply_all changes (fun n -> config n t) with
@@ -99,7 +155,12 @@ let restrict keep t =
       topo (Topology.links t.topology)
   in
   let cfgs = Smap.filter (fun name _ -> mem name) t.configs in
-  { topology = topo; configs = cfgs }
+  {
+    topology = topo;
+    configs = cfgs;
+    topo_digest = digest_of_topology topo;
+    cfg_digests = Smap.filter (fun name _ -> mem name) t.cfg_digests;
+  }
 
 let total_config_lines t =
   Smap.fold (fun _ cfg n -> n + Printer.line_count cfg) t.configs 0

@@ -48,6 +48,23 @@ val restrict : string list -> t -> t
 (** Keep only the named nodes and the links among them (used to build twin
     networks from a slice). *)
 
+val digest : t -> string
+(** A structural digest of the whole network, composed from a topology
+    digest plus one digest per device config.  Digests are maintained
+    incrementally: {!with_config} re-digests exactly the touched device,
+    so digesting a 1-change variant of a large network costs one device
+    marshal, not a whole-network marshal.  Two networks with equal
+    topologies and structurally-equal configs share a digest. *)
+
+val device_digest : string -> t -> string option
+(** The structural digest of one device's config, if the node exists. *)
+
+val changed_devices : t -> t -> string list option
+(** [changed_devices a b] lists the devices whose config digests differ,
+    in name order — [Some []] when the networks are structurally equal.
+    [None] when the comparison is meaningless (different topologies or
+    node sets), in which case callers must treat everything as changed. *)
+
 val total_config_lines : t -> int
 (** Sum of {!Heimdall_config.Printer.line_count} over all devices (the
     paper's "lines of configs" column). *)

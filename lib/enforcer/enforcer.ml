@@ -220,16 +220,22 @@ let process ?(enclave = default_enclave) ?engine ?obs ?injector ?max_attempts
           sealed_head = Enclave.seal enclave head;
         }
     | Ok (plan, updated) ->
-        let dataplane net =
-          match engine with
-          | Some e -> Engine.dataplane e net
-          | None -> Heimdall_control.Dataplane.compute net
-        in
         let impact =
           Heimdall_obs.Obs.span obs "enforcer.impact" (fun () ->
+              (* The updated network is production plus the accepted
+                 change set: build its dataplane incrementally. *)
+              let production_dp, updated_dp =
+                match engine with
+                | Some e ->
+                    let p = Engine.dataplane e production in
+                    (p, Engine.dataplane ~base:p e updated)
+                | None ->
+                    let p = Heimdall_control.Dataplane.compute production in
+                    (p, Heimdall_control.Dataplane.recompute ~base:p updated)
+              in
               Reachability.diff
-                ~before:(Reachability.compute ?engine ?obs (dataplane production))
-                ~after:(Reachability.compute ?engine ?obs (dataplane updated)))
+                ~before:(Reachability.compute ?engine ?obs production_dp)
+                ~after:(Reachability.compute ?engine ?obs updated_dp))
         in
         (* Transactional push to production: per-step checkpoint
            validation, retry with backoff, rollback on persistent

@@ -40,10 +40,13 @@ let verify ?engine ?obs ~production ~policies ~privilege ~changes () =
   Heimdall_obs.Obs.span obs "enforcer.verify"
     ~attrs:[ ("changes", string_of_int (List.length changes)) ]
     (fun () ->
-      let dataplane net =
+      let dataplane ?base net =
         match engine with
-        | Some e -> Engine.dataplane e net
-        | None -> Dataplane.compute net
+        | Some e -> Engine.dataplane ?base e net
+        | None -> (
+            match base with
+            | Some b -> Dataplane.recompute ~base:b net
+            | None -> Dataplane.compute net)
       in
       let priv_rejections = privilege_rejections ~privilege changes in
       let result =
@@ -56,11 +59,12 @@ let verify ?engine ?obs ~production ~policies ~privilege ~changes () =
               fixed_policies = [];
             }
         | Ok shadow ->
-            let before =
-              Policy.check_all ?engine ?obs (dataplane production) policies
-            in
+            (* The shadow network differs from production only by the
+               proposed change set: build its dataplane incrementally. *)
+            let production_dp = dataplane production in
+            let before = Policy.check_all ?engine ?obs production_dp policies in
             let after =
-              Policy.check_all ?engine ?obs (dataplane shadow) policies
+              Policy.check_all ?engine ?obs (dataplane ~base:production_dp shadow) policies
             in
             let violated_before p =
               List.exists (fun (q, _) -> Policy.equal p q) before.violations

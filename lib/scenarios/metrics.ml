@@ -139,8 +139,16 @@ let incident_endpoints engine net dp policies healthy_violated (failed : Topolog
       | Some peer -> [ failed.node; peer.node ]
       | None -> [ failed.node ])
 
+(* Resolve the optional engine exactly once per entry point: the prepare
+   and evaluate passes must share one engine, or the dataplane/trace
+   caches warmed by the sweep are thrown away before evaluation (and the
+   stats split across two engines nobody can see). *)
+let resolve_engine = function
+  | Some e -> e
+  | None -> Engine.create ~domains:1 ()
+
 let sweep_points ?engine ~production ~policies () =
-  let engine = match engine with Some e -> e | None -> Engine.create ~domains:1 () in
+  let engine = resolve_engine engine in
   Engine.phase engine "sweep/prepare" @@ fun () ->
   (* Shared per-network data: the healthy dataplane and its traces are
      computed once and reused by every sweep point. *)
@@ -164,7 +172,9 @@ let sweep_points ?engine ~production ~policies () =
       in
       let broken, broken_dp =
         match Network.apply_changes [ change ] production with
-        | Ok net -> (net, Engine.dataplane engine net)
+        (* Each broken network is a one-interface variation of production:
+           build its dataplane incrementally against the healthy one. *)
+        | Ok net -> (net, Engine.dataplane ~base:healthy_dp engine net)
         | Error m -> invalid_arg ("Metrics.sweep: " ^ m)
       in
       let endpoints =
@@ -191,7 +201,7 @@ let summarise technique points =
   }
 
 let evaluate_technique ?engine ~production ~policies technique prepared =
-  let engine = match engine with Some e -> e | None -> Engine.create ~domains:1 () in
+  let engine = resolve_engine engine in
   Engine.phase engine ("sweep/evaluate-" ^ technique_to_string technique) @@ fun () ->
   let points =
     Engine.map engine
@@ -208,11 +218,13 @@ let evaluate_technique ?engine ~production ~policies technique prepared =
   summarise technique points
 
 let sweep ?engine ~production ~policies technique =
-  let prepared = sweep_points ?engine ~production ~policies () in
-  evaluate_technique ?engine ~production ~policies technique prepared
+  let engine = resolve_engine engine in
+  let prepared = sweep_points ~engine ~production ~policies () in
+  evaluate_technique ~engine ~production ~policies technique prepared
 
 let sweep_all ?engine ~production ~policies () =
-  let prepared = sweep_points ?engine ~production ~policies () in
+  let engine = resolve_engine engine in
+  let prepared = sweep_points ~engine ~production ~policies () in
   List.map
-    (fun t -> evaluate_technique ?engine ~production ~policies t prepared)
+    (fun t -> evaluate_technique ~engine ~production ~policies t prepared)
     [ All_access; Neighbor_access; Heimdall_twin ]

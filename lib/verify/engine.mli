@@ -7,17 +7,25 @@
     both costs:
 
     - {b Parallelism}: [map] fans independent work items out across a
-      fixed pool of OCaml 5 domains using a chunked work queue.  Results
-      are written by index, so the output order — and therefore every
-      verdict — is byte-identical regardless of the domain count.
-    - {b Memoization}: [dataplane] runs one {!Heimdall_control.Dataplane.compute}
-      per structurally-distinct network (keyed by digest), and [trace]
-      keeps a per-dataplane flow cache so policies sharing a flow trace
-      it once.
+      {e persistent} pool of OCaml 5 domains.  The helpers are spawned
+      once (lazily, at the first parallel map) and reused for the
+      engine's lifetime; each map posts one job to a shared chunked work
+      queue, and workloads too small to amortize a wake-up run
+      sequentially.  Results are written by index, so the output order —
+      and therefore every verdict — is byte-identical regardless of the
+      domain count.
+    - {b Memoization}: [dataplane] runs one control-plane computation per
+      structurally-distinct network, keyed by the composed per-device
+      config digests of {!Heimdall_control.Network.digest}; passing
+      [?base] reuses unchanged per-device work via
+      {!Heimdall_control.Dataplane.recompute}; and with [?cache_dir] the
+      built dataplanes persist on disk across runs.  [trace] keeps a
+      sharded per-dataplane flow cache with single-flight misses, so
+      policies sharing a flow trace it once — even when they ask
+      concurrently.
 
-    All entry points are safe to call from any domain; internal caches
-    are guarded by a single mutex and shared across the pool.  An engine
-    created with [~domains:1] never spawns, which keeps tier-1 tests
+    All entry points are safe to call from any domain.  An engine created
+    with [~domains:1] never spawns, which keeps tier-1 tests
     deterministic and dependency-free. *)
 
 open Heimdall_net
@@ -25,15 +33,26 @@ open Heimdall_control
 
 type t
 
-val create : ?domains:int -> ?obs:Heimdall_obs.Obs.t -> unit -> t
+val create : ?domains:int -> ?obs:Heimdall_obs.Obs.t -> ?cache_dir:string -> unit -> t
 (** [create ~domains ()] makes an engine whose [map] uses up to
     [domains] domains (including the caller's).  Defaults to
-    {!default_domains}; values below 1 are clamped to 1.
+    {!default_domains}; values below 1 are clamped to 1.  Helper domains
+    are not spawned here — the first [map] large enough to parallelize
+    spawns them, and they then persist until {!shutdown} (or, as a
+    backstop, until the engine is collected).
+
+    With [?cache_dir], built dataplanes are also written to that
+    directory (one marshalled file per network digest, created on
+    demand) and later engines pointed at the same directory load them
+    instead of recomputing.  The cache is self-invalidating: entries are
+    keyed by structural digest and carry a format version, and any
+    unreadable or stale entry is treated as a miss.
 
     With [?obs], the engine additionally streams its counters into the
     context's metrics registry ([engine.trace.run] /
-    [engine.trace.cache_hit] / [engine.dataplane.built] /
-    [engine.dataplane.cache_hit], a [engine.dataplane.build_s]
+    [engine.trace.cache_hit] / [engine.trace.coalesced] /
+    [engine.dataplane.built] / [engine.dataplane.cache_hit] /
+    [engine.dataplane.persistent_hit], a [engine.dataplane.build_s]
     histogram, an [engine.domains_used] gauge) and wraps each {!phase}
     in a tracer span.  Observability never changes results — only the
     \[stats\] and the registry. *)
@@ -49,37 +68,65 @@ val obs : t -> Heimdall_obs.Obs.t option
 (** The observability context the engine was created with, if any —
     callers piggyback on it so one context covers a whole pipeline. *)
 
-val dataplane : t -> Network.t -> Dataplane.t
-(** Memoized {!Heimdall_control.Dataplane.compute}: one build per
-    structurally-distinct network.  Repeated calls with an equal network
-    return the {e same} dataplane value, so downstream trace caches are
-    shared too. *)
+val shutdown : t -> unit
+(** Stop and join the engine's helper domains.  Idempotent; safe on
+    engines that never spawned.  A subsequent [map] re-spawns helpers on
+    demand, so shutdown is a resource release, not a poisoning.  Engines
+    dropped without [shutdown] release their helpers via a GC finalizer,
+    but long-lived programs should call this deterministically. *)
+
+val dataplane : ?base:Dataplane.t -> t -> Network.t -> Dataplane.t
+(** Memoized dataplane computation: one build per structurally-distinct
+    network, keyed by {!Heimdall_control.Network.digest}.  Repeated
+    calls with an equal network return the {e same} dataplane value, so
+    downstream trace caches are shared too.
+
+    On a miss with [?base], the build runs
+    {!Heimdall_control.Dataplane.recompute}[ ~base], which reuses the
+    base's L2 map and per-device FIBs for devices whose routing inputs
+    are unchanged — the natural choice when [net] is a small variation
+    of a network whose dataplane is already in hand (a single-device
+    change, one failure candidate of a sweep).  The result is
+    byte-identical to a full compute either way. *)
 
 val dataplane_of_changes :
   t -> production:Network.t -> Heimdall_config.Change.t list ->
   (Dataplane.t, string) result
 (** Apply a change set and return the (memoized) dataplane of the
-    resulting network. *)
+    resulting network, built incrementally against the production
+    dataplane. *)
 
 val trace : t -> Dataplane.t -> Flow.t -> Trace.result
-(** Memoized {!Trace.trace}: per-dataplane flow cache, so two policies
-    over the same flow cost one trace. *)
+(** Memoized {!Trace.trace}: a per-dataplane flow cache sharded across
+    independently-locked segments, so concurrent lookups of different
+    flows never contend.  Concurrent misses on the {e same} flow are
+    single-flight: one domain computes, the rest wait and reuse the
+    result (counted as [trace_coalesced]). *)
 
-val map : t -> ('a -> 'b) -> 'a list -> 'b list
+val map : ?min_per_domain:int -> t -> ('a -> 'b) -> 'a list -> 'b list
 (** Parallel map with deterministic result order.  [f] must be safe to
     run from any domain (pure functions over networks, dataplanes and
-    engine calls all are).  With a pool of 1 — or a single-element list —
-    this is exactly [List.map].
+    engine calls all are).
+
+    The map runs sequentially — exactly [List.map] — unless there are at
+    least [min_per_domain] items (default 16) per engaged domain; tiny
+    fan-outs cost more in wake-ups and queue traffic than the work is
+    worth.  Pass [~min_per_domain:1] to force parallelism for expensive
+    items.  With a pool of 1 it is always [List.map].
 
     Degrades gracefully when {!Domain.spawn} fails (domain/thread limits
     on a loaded host): the shared work queue lets the caller's own worker
     drain every item, so results are identical — only slower.  Each
     failed spawn bumps the [spawn_fallbacks] stat and the
-    [engine.spawn_fallbacks] gauge. *)
+    [engine.spawn_fallbacks] gauge, and the next map retries the spawn.
+
+    If [f] raises, the first exception (in claim order) is re-raised in
+    the caller after the queue drains; remaining unstarted items are
+    skipped. *)
 
 val fail_spawn_for_tests : bool ref
 (** Test hook: when set, [map] behaves as if every [Domain.spawn]
-    failed, exercising the sequential fallback path.  Never set this
+    failed, exercising the degraded single-domain path.  Never set this
     outside tests. *)
 
 val phase : t -> string -> (unit -> 'a) -> 'a
@@ -93,11 +140,19 @@ val phase : t -> string -> (unit -> 'a) -> 'a
 type stats = {
   traces_run : int;  (** Traces actually computed. *)
   trace_cache_hits : int;  (** Traces answered from the flow cache. *)
-  dataplanes_built : int;  (** [Dataplane.compute] invocations. *)
+  trace_coalesced : int;
+      (** Concurrent misses that waited for another domain's in-flight
+          trace instead of recomputing it. *)
+  dataplanes_built : int;  (** Dataplane computations (full or incremental). *)
+  dataplanes_incremental : int;
+      (** Subset of [dataplanes_built] that ran incrementally against a
+          [?base] dataplane. *)
   dataplane_cache_hits : int;  (** Dataplanes answered from the digest cache. *)
+  dataplane_persistent_hits : int;
+      (** Dataplanes loaded from the on-disk cache instead of built. *)
   domains_used : int;  (** Largest pool [map] has actually engaged. *)
   spawn_fallbacks : int;
-      (** [Domain.spawn] failures absorbed by the sequential fallback. *)
+      (** [Domain.spawn] failures absorbed by the shared-queue fallback. *)
   phase_seconds : (string * float) list;
       (** Wall seconds per {!phase} bucket, in first-use order. *)
 }
@@ -108,7 +163,8 @@ val stats : t -> stats
 val reset_stats : t -> unit
 
 val trace_hit_rate : stats -> float
-(** Hits / (hits + runs), in [0, 1]; 0 when no traces ran. *)
+(** (hits + coalesced) / (hits + coalesced + runs), in [0, 1]; 0 when no
+    traces ran. *)
 
 val stats_to_json : stats -> Heimdall_json.Json.t
 (** Machine-readable form, persisted by [bench/main.exe] into

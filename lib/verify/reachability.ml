@@ -79,11 +79,17 @@ let impact_of_changes ?engine ?obs ~production changes =
   | Error m -> Error m
   | Ok shadow ->
       Heimdall_obs.Obs.span obs "reachability.impact" (fun () ->
-          let dataplane net =
+          (* The shadow is a small variation of production: reuse the
+             production dataplane as the incremental base. *)
+          let production_dp, shadow_dp =
             match engine with
-            | Some e -> Engine.dataplane e net
-            | None -> Dataplane.compute net
+            | Some e ->
+                let p = Engine.dataplane e production in
+                (p, Engine.dataplane ~base:p e shadow)
+            | None ->
+                let p = Dataplane.compute production in
+                (p, Dataplane.recompute ~base:p shadow)
           in
-          let before = compute ?engine ?obs (dataplane production) in
-          let after = compute ?engine ?obs (dataplane shadow) in
+          let before = compute ?engine ?obs production_dp in
+          let after = compute ?engine ?obs shadow_dp in
           Ok (diff ~before ~after))

@@ -238,7 +238,9 @@ let test_engine_reset_stats () =
   let open Heimdall_verify in
   let net, policies = Experiments.enterprise () in
   let engine = Engine.create ~domains:2 () in
-  ignore (Engine.map engine (fun p -> p) policies);
+  (* min_per_domain:1 defeats the sequential cutoff so the pool engages
+     even on this small policy list. *)
+  ignore (Engine.map ~min_per_domain:1 engine (fun p -> p) policies);
   ignore (Engine.phase engine "warm" (fun () -> ignore (Engine.dataplane engine net)));
   ignore (Policy.check_all ~engine (Engine.dataplane engine net) policies);
   let s = Engine.stats engine in

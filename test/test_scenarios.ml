@@ -232,6 +232,46 @@ let test_sweep_engine_deterministic () =
     (stats.Heimdall_verify.Engine.dataplanes_built
     = 1 + List.length (Metrics.failure_candidates net))
 
+let test_sweep_single_engine () =
+  (* Regression: sweep used to build one engine for the prepare pass and
+     a second for the evaluate pass, so the caches warmed by the sweep
+     never reached evaluation.  With one engine, both phases' buckets
+     land in the same stats. *)
+  let net, policies = Experiments.enterprise () in
+  let engine = Heimdall_verify.Engine.create ~domains:1 () in
+  ignore (Metrics.sweep ~engine ~production:net ~policies Metrics.All_access);
+  let phases =
+    List.map fst (Heimdall_verify.Engine.stats engine).Heimdall_verify.Engine.phase_seconds
+  in
+  checkb "prepare phase recorded" true (List.mem "sweep/prepare" phases);
+  checkb "evaluate phase recorded on the same engine" true
+    (List.mem "sweep/evaluate-all" phases)
+
+let test_sweep_all_cache_reuse () =
+  (* Repeating a full sweep on one engine must answer every dataplane
+     from cache: no new builds, positive hit counters, byte-identical
+     summaries. *)
+  let net, policies = Experiments.university () in
+  let open Heimdall_verify in
+  let dir = Filename.temp_dir "heimdall-dpcache-sweep" "" in
+  let engine = Engine.create ~domains:1 ~cache_dir:dir () in
+  let first = Metrics.sweep_all ~engine ~production:net ~policies () in
+  let built_after_first = (Engine.stats engine).Engine.dataplanes_built in
+  checkb "first sweep built dataplanes" true (built_after_first > 0);
+  let second = Metrics.sweep_all ~engine ~production:net ~policies () in
+  let s = Engine.stats engine in
+  checkb "summaries byte-identical across runs" true (first = second);
+  checki "second sweep built nothing new" built_after_first s.Engine.dataplanes_built;
+  checkb "dataplane cache hits recorded" true (s.Engine.dataplane_cache_hits > 0);
+  (* A fresh engine over the warm persistent cache builds zero
+     dataplanes and still produces identical summaries. *)
+  let warm = Engine.create ~domains:1 ~cache_dir:dir () in
+  let third = Metrics.sweep_all ~engine:warm ~production:net ~policies () in
+  let sw = Engine.stats warm in
+  checkb "warm persistent summaries identical" true (first = third);
+  checki "warm persistent cache built nothing" 0 sw.Engine.dataplanes_built;
+  checkb "persistent hits recorded" true (sw.Engine.dataplane_persistent_hits > 0)
+
 let test_campaign_event_stream () =
   let evs = Campaign.events ~seed:7 ~tickets:50 ~malicious_pct:40 in
   checki "count" 50 (List.length evs);
@@ -286,4 +326,6 @@ let suite =
     Alcotest.test_case "campaign event stream" `Quick test_campaign_event_stream;
     Alcotest.test_case "campaign with no issues" `Quick test_campaign_no_issues;
     Alcotest.test_case "sweep engine deterministic" `Slow test_sweep_engine_deterministic;
+    Alcotest.test_case "sweep single engine" `Quick test_sweep_single_engine;
+    Alcotest.test_case "sweep_all cache reuse" `Slow test_sweep_all_cache_reuse;
   ]

@@ -274,6 +274,157 @@ let test_engine_check_all_matches_sequential () =
   checkb "matrices identical" true (d.Reachability.gained = [] && d.Reachability.lost = []);
   checkb "engine saw trace work" true ((Engine.stats engine).Engine.traces_run > 0)
 
+let test_engine_map_cutoff () =
+  (* Small workloads must not pay for a parallel fan-out: below the
+     min-per-domain threshold the map runs sequentially on the caller. *)
+  let e = Engine.create ~domains:4 () in
+  let xs = List.init 8 Fun.id in
+  let f x = x * 3 in
+  checkb "small map correct" true (Engine.map e f xs = List.map f xs);
+  checki "small map stayed sequential" 1 (Engine.stats e).Engine.domains_used;
+  checkb "forced parallel correct" true
+    (Engine.map ~min_per_domain:1 e f xs = List.map f xs);
+  checkb "forced parallel engaged pool" true ((Engine.stats e).Engine.domains_used > 1);
+  Engine.shutdown e
+
+let test_engine_pool_reuse () =
+  (* One persistent pool serves many maps; shutdown releases it and the
+     next map transparently respawns. *)
+  let e = Engine.create ~domains:4 () in
+  let xs = List.init 64 Fun.id in
+  let f x = (x * 7) mod 13 in
+  let expected = List.map f xs in
+  for _ = 1 to 20 do
+    checkb "repeated map identical" true (Engine.map ~min_per_domain:1 e f xs = expected)
+  done;
+  Engine.shutdown e;
+  Engine.shutdown e (* idempotent *);
+  checkb "map after shutdown works" true
+    (Engine.map ~min_per_domain:1 e f xs = expected);
+  Engine.shutdown e
+
+let test_engine_map_exception () =
+  let e = Engine.create ~domains:4 () in
+  let xs = List.init 64 Fun.id in
+  (match Engine.map ~min_per_domain:1 e (fun x -> if x = 40 then failwith "boom" else x) xs with
+  | _ -> Alcotest.fail "expected exception from parallel map"
+  | exception Failure m -> Alcotest.check Alcotest.string "exception propagated" "boom" m);
+  (* The pool must still be usable after a failed map. *)
+  checkb "pool survives exception" true (Engine.map ~min_per_domain:1 e Fun.id xs = xs);
+  Engine.shutdown e
+
+let test_engine_trace_single_flight () =
+  (* 200 concurrent lookups of the same uncached flow must run exactly
+     one trace: one domain computes, everyone else waits and reuses. *)
+  let net = triangle () in
+  let e = Engine.create ~domains:4 () in
+  let dp = Engine.dataplane e net in
+  let flow = Flow.icmp (ip "10.1.0.10") (ip "10.2.0.10") in
+  let results =
+    Engine.map ~min_per_domain:1 e (fun _ -> Engine.trace e dp flow) (List.init 200 Fun.id)
+  in
+  let first = List.hd results in
+  checkb "all results equal" true (List.for_all (fun r -> r = first) results);
+  let s = Engine.stats e in
+  checki "one trace ran" 1 s.Engine.traces_run;
+  checki "199 answered from cache or coalesced" 199
+    (s.Engine.trace_cache_hits + s.Engine.trace_coalesced);
+  Engine.shutdown e
+
+let test_engine_incremental_dataplane () =
+  let net = triangle () in
+  let e = Engine.create ~domains:1 () in
+  let base = Engine.dataplane e net in
+  (* Routing-relevant change: down an interface on r3. *)
+  let broken =
+    Result.get_ok
+      (Network.apply_changes
+         [ Change.v "r3" (Change.Set_interface_enabled { iface = "eth0"; enabled = false }) ]
+         net)
+  in
+  let incr_dp = Engine.dataplane ~base e broken in
+  let full_dp = Dataplane.compute broken in
+  checkb "incremental route counts match full compute" true
+    (Dataplane.route_counts incr_dp = Dataplane.route_counts full_dp);
+  let flow = Flow.icmp (ip "10.1.0.10") (ip "10.2.0.10") in
+  checkb "incremental trace matches full compute" true
+    (Trace.trace incr_dp flow = Trace.trace full_dp flow);
+  checkb "incremental build counted" true
+    ((Engine.stats e).Engine.dataplanes_incremental > 0);
+  (* ACL-only change: every FIB must be reused physically. *)
+  let cfg = Network.config_exn "r2" net in
+  let cfg = { cfg with Ast.acls = Acl.make "NOP" [ Acl.rule ~seq:10 Acl.Permit Prefix.any Prefix.any ] :: cfg.Ast.acls } in
+  let acl_net = Network.with_config "r2" cfg net in
+  let acl_dp = Engine.dataplane ~base e acl_net in
+  checkb "acl-only change reuses fib physically" true
+    (Dataplane.fib "r1" acl_dp == Dataplane.fib "r1" base);
+  checkb "acl-only change carries new network" true
+    (Network.config "r2" (Dataplane.network acl_dp) = Some cfg)
+
+let test_engine_persistent_cache () =
+  let dir = Filename.temp_dir "heimdall-dpcache-test" "" in
+  let net = triangle () in
+  let e1 = Engine.create ~domains:1 ~cache_dir:dir () in
+  let dp1 = Engine.dataplane e1 net in
+  checki "first engine built it" 1 (Engine.stats e1).Engine.dataplanes_built;
+  (* A fresh engine pointed at the same directory loads instead of
+     building. *)
+  let e2 = Engine.create ~domains:1 ~cache_dir:dir () in
+  let dp2 = Engine.dataplane e2 net in
+  let s2 = Engine.stats e2 in
+  checki "second engine built nothing" 0 s2.Engine.dataplanes_built;
+  checkb "persistent hit counted" true (s2.Engine.dataplane_persistent_hits > 0);
+  checkb "loaded dataplane equivalent" true
+    (Dataplane.route_counts dp1 = Dataplane.route_counts dp2);
+  let flow = Flow.icmp (ip "10.1.0.10") (ip "10.2.0.10") in
+  checkb "loaded dataplane traces identically" true
+    (Trace.trace dp1 flow = Trace.trace dp2 flow);
+  (* A corrupt cache entry must read as a miss, not an error. *)
+  Array.iter
+    (fun f ->
+      if Filename.check_suffix f ".dp" then
+        Out_channel.with_open_bin (Filename.concat dir f) (fun oc ->
+            Out_channel.output_string oc "garbage"))
+    (Sys.readdir dir);
+  let e3 = Engine.create ~domains:1 ~cache_dir:dir () in
+  let dp3 = Engine.dataplane e3 net in
+  checki "corrupt entry rebuilt" 1 (Engine.stats e3).Engine.dataplanes_built;
+  checkb "rebuilt dataplane equivalent" true
+    (Dataplane.route_counts dp1 = Dataplane.route_counts dp3)
+
+let test_network_digest () =
+  let a = triangle () in
+  let b = triangle () in
+  checkb "digest deterministic across rebuilds" true (Network.digest a = Network.digest b);
+  checkb "no changed devices between equal networks" true
+    (Network.changed_devices a b = Some []);
+  let broken =
+    Result.get_ok
+      (Network.apply_changes
+         [ Change.v "r3" (Change.Set_interface_enabled { iface = "eth0"; enabled = false }) ]
+         a)
+  in
+  checkb "digest changes with a config change" true
+    (Network.digest a <> Network.digest broken);
+  checkb "changed device identified" true
+    (Network.changed_devices a broken = Some [ "r3" ]);
+  checkb "device digest changed" true
+    (Network.device_digest "r3" a <> Network.device_digest "r3" broken);
+  checkb "untouched device digest stable" true
+    (Network.device_digest "r1" a = Network.device_digest "r1" broken);
+  (* Reverting the change restores the digest (structural, not historical). *)
+  let reverted =
+    Result.get_ok
+      (Network.apply_changes
+         [ Change.v "r3" (Change.Set_interface_enabled { iface = "eth0"; enabled = true }) ]
+         broken)
+  in
+  checkb "digest reverts with the config" true (Network.digest a = Network.digest reverted);
+  (* Different node sets are incomparable. *)
+  let restricted = Network.restrict [ "r1"; "r2"; "r3"; "sw1"; "h1"; "h2" ] a in
+  checkb "different node sets incomparable" true
+    (Network.changed_devices a restricted = None)
+
 (* ---------------- Spec miner ---------------- *)
 
 let test_miner_triangle () =
@@ -379,6 +530,14 @@ let suite =
     Alcotest.test_case "engine map deterministic" `Quick test_engine_map_deterministic;
     Alcotest.test_case "engine matches sequential" `Quick
       test_engine_check_all_matches_sequential;
+    Alcotest.test_case "engine map cutoff" `Quick test_engine_map_cutoff;
+    Alcotest.test_case "engine pool reuse" `Quick test_engine_pool_reuse;
+    Alcotest.test_case "engine map exception" `Quick test_engine_map_exception;
+    Alcotest.test_case "engine trace single-flight" `Quick test_engine_trace_single_flight;
+    Alcotest.test_case "engine incremental dataplane" `Quick
+      test_engine_incremental_dataplane;
+    Alcotest.test_case "engine persistent cache" `Quick test_engine_persistent_cache;
+    Alcotest.test_case "network digest" `Quick test_network_digest;
     Alcotest.test_case "miner triangle" `Quick test_miner_triangle;
     Alcotest.test_case "miner detects isolation" `Quick test_miner_detects_isolation;
     Alcotest.test_case "miner skips broken pairs" `Quick test_miner_skips_broken;
