@@ -1,7 +1,7 @@
 # CI entry points.  `make check` is what the pipeline runs on every
 # change: a full build plus the tier-1 test suite.
 
-.PHONY: check build test lint analyze-smoke bench bench-smoke chaos-smoke clean
+.PHONY: check build test lint analyze-smoke plan-smoke bench bench-smoke chaos-smoke clean
 
 check: build test
 
@@ -27,6 +27,19 @@ analyze-smoke: build
 	! dune exec bin/heimdall_cli.exe -- analyze enterprise --seed-defect > /tmp/analyze-seeded.out
 	grep -q ACL004 /tmp/analyze-seeded.out
 	dune exec bench/main.exe -- sem
+
+# Plan-analysis smoke: the static pre-flight must be sound on every
+# scenario ticket (predicted delta contains the exact replay diff, the
+# privilege verdict agrees with replay), the clean scenarios must show
+# no plan conflicts, and a deliberately seeded overlapping ticket must
+# be detected and held.
+plan-smoke: build
+	dune exec bin/heimdall_cli.exe -- analyze enterprise --plan
+	dune exec bin/heimdall_cli.exe -- analyze university --plan
+	dune exec bin/heimdall_cli.exe -- conflicts enterprise
+	dune exec bin/heimdall_cli.exe -- conflicts university
+	! dune exec bin/heimdall_cli.exe -- conflicts enterprise --seed-overlap > /tmp/plan-seeded.out
+	grep -q "plan.conflict" /tmp/plan-seeded.out
 
 bench:
 	dune exec bench/main.exe

@@ -286,12 +286,130 @@ let report_sem () =
   let enterprise = measure "enterprise" (fst (Experiments.enterprise ())) in
   let university = measure "university" (fst (Experiments.university ())) in
   let rows = [ enterprise; university ] in
+  (* Plan analyzer: static pre-flight over every scenario ticket, 1
+     domain vs N (byte-identical), plus the soundness tally — on how
+     many tickets the predicted delta contains the exact replay diff. *)
+  print_string "== Plan analysis: static pre-flight over scenario tickets ==\n";
+  let measure_plan name =
+    let open Heimdall_sem in
+    let sc = Option.get (Experiments.scenario_of_name name) in
+    let tickets =
+      List.map
+        (fun (issue : Heimdall_msp.Issue.t) ->
+          let broken = issue.Heimdall_msp.Issue.inject sc.Experiments.net in
+          let slice =
+            Heimdall_twin.Twin.slice_nodes ~production:broken
+              ~endpoints:issue.Heimdall_msp.Issue.ticket.Heimdall_msp.Ticket.endpoints
+              ()
+          in
+          let spec =
+            Heimdall_msp.Priv_gen.for_ticket ~network:broken ~slice
+              issue.Heimdall_msp.Issue.ticket
+          in
+          {
+            Heimdall_lint.Plan_lint.label = issue.Heimdall_msp.Issue.name;
+            spec;
+            scope = slice;
+            commands = issue.Heimdall_msp.Issue.fix_commands;
+          })
+        sc.Experiments.issues
+    in
+    let run domains =
+      let engine = Heimdall_verify.Engine.create ~domains () in
+      Heimdall_msp.Timing.elapsed (fun () ->
+          Heimdall_lint.Lint.check_plans ~engine ~network:sc.Experiments.net
+            ~policies:sc.Experiments.policies tickets)
+    in
+    let f1, t1 = run 1 in
+    let fn, tn = run n in
+    let identical = List.equal Heimdall_lint.Diagnostic.equal f1 fn in
+    (* Soundness tally: predicted static delta vs the exact ACL diff the
+       twin replay produces. *)
+    let agree =
+      List.fold_left
+        (fun acc (issue : Heimdall_msp.Issue.t) ->
+          let broken = issue.Heimdall_msp.Issue.inject sc.Experiments.net in
+          let em =
+            Heimdall_twin.Twin.build ~production:broken
+              ~endpoints:issue.Heimdall_msp.Issue.ticket.Heimdall_msp.Ticket.endpoints
+              ()
+          in
+          let session =
+            Heimdall_twin.Twin.open_session
+              ~privilege:Heimdall_privilege.Privilege.allow_all em
+          in
+          ignore
+            (Heimdall_twin.Session.exec_many session
+               issue.Heimdall_msp.Issue.fix_commands);
+          let script =
+            Plan_sem.script_of_commands issue.Heimdall_msp.Issue.fix_commands
+          in
+          let a = Plan_sem.analyze ~network:broken script.Plan_sem.script_changes in
+          let before = Heimdall_twin.Emulation.baseline em in
+          let after = Heimdall_twin.Emulation.network em in
+          let open Heimdall_control in
+          let exact =
+            List.fold_left
+              (fun acc node ->
+                let find net =
+                  Option.bind (Network.config node net) (fun cfg ->
+                      Some (cfg : Heimdall_config.Ast.t).acls)
+                  |> Option.value ~default:[]
+                in
+                let names =
+                  List.sort_uniq String.compare
+                    (List.map
+                       (fun (acl : Heimdall_net.Acl.t) -> acl.name)
+                       (find before @ find after))
+                in
+                List.fold_left
+                  (fun acc acl_name ->
+                    let acl_of net =
+                      match Network.config node net with
+                      | Some cfg ->
+                          Option.value
+                            (Heimdall_config.Ast.find_acl acl_name cfg)
+                            ~default:(Heimdall_net.Acl.empty acl_name)
+                      | None -> Heimdall_net.Acl.empty acl_name
+                    in
+                    let d =
+                      Acl_sem.diff ~before:(acl_of before) ~after:(acl_of after)
+                    in
+                    Packet_set.union acc
+                      (Packet_set.union d.Acl_sem.newly_permitted
+                         d.Acl_sem.newly_denied))
+                  acc names)
+              Packet_set.empty (Network.node_names before)
+          in
+          if Packet_set.subset exact a.Plan_sem.delta then acc + 1 else acc)
+        0 sc.Experiments.issues
+    in
+    Printf.printf
+      "  %-10s %d tickets, %d findings; 1 domain %.4f s; %d domains %.4f s; identical: %b; delta sound: %d/%d\n"
+      name (List.length tickets) (List.length f1) t1 n tn identical agree
+      (List.length tickets);
+    let open Heimdall_json in
+    Json.Obj
+      [
+        ("network", Json.String name);
+        ("tickets", Json.Int (List.length tickets));
+        ("findings", Json.Int (List.length f1));
+        ("wall_s_1_domain", Json.Float t1);
+        ("wall_s_n_domains", Json.Float tn);
+        ("identical_across_domains", Json.Bool identical);
+        ("delta_sound", Json.Int agree);
+      ]
+  in
+  let plan_enterprise = measure_plan "enterprise" in
+  let plan_university = measure_plan "university" in
+  let plan_rows = [ plan_enterprise; plan_university ] in
   let open Heimdall_json in
   persist_report ~key:"sem"
     (Json.Obj
        [
          ("domains", Json.Int (max 2 (Heimdall_verify.Engine.default_domains ())));
          ("networks", Json.List rows);
+         ("plan", Json.List plan_rows);
        ]);
   print_newline ()
 

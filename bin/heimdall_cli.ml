@@ -478,6 +478,39 @@ let seed_acl_defect net =
       in
       (net, node, acl_name)
 
+(* Exact post-apply ACL delta of a replayed session: the union, over
+   every (device, ACL) pair, of the packets the edits opened or closed.
+   This is what the static plan analysis must over-approximate. *)
+let exact_session_delta before after =
+  let open Heimdall_config in
+  List.fold_left
+    (fun acc node ->
+      let acls net =
+        match Network.config node net with
+        | Some (cfg : Ast.t) -> cfg.acls
+        | None -> []
+      in
+      let names =
+        List.sort_uniq String.compare
+          (List.map (fun (a : Acl.t) -> a.Acl.name) (acls before @ acls after))
+      in
+      List.fold_left
+        (fun acc name ->
+          let find net =
+            match Network.config node net with
+            | Some cfg -> Option.value (Ast.find_acl name cfg) ~default:(Acl.empty name)
+            | None -> Acl.empty name
+          in
+          let d =
+            Heimdall_sem.Acl_sem.diff ~before:(find before) ~after:(find after)
+          in
+          Packet_set.union acc
+            (Packet_set.union d.Heimdall_sem.Acl_sem.newly_permitted
+               d.Heimdall_sem.Acl_sem.newly_denied))
+        acc names)
+    Packet_set.empty
+    (Network.node_names after)
+
 let analyze_cmd =
   let open Heimdall_lint in
   let seed_defect_flag =
@@ -488,7 +521,18 @@ let analyze_cmd =
             "Self-test: inject a union-shadow ACL defect that only the packet-set \
              algebra can catch, then analyse.  The run must report ACL004.")
   in
-  let run target json severity domains rules seed_defect cache_dir =
+  let plan_flag =
+    Arg.(
+      value & flag
+      & info [ "plan" ]
+          ~doc:
+            "Also run the static plan-effect analysis (PLAN001-PLAN005) on every \
+             ticket's fix script, and check its soundness against twin replay: the \
+             predicted packet-set delta must contain the exact post-apply ACL diff, \
+             and the static privilege verdict must agree with the monitor (exit \
+             non-zero otherwise).")
+  in
+  let run target json severity domains rules seed_defect plan cache_dir =
     match (rules, target) with
     | true, _ -> print_lint_rules ()
     | false, None ->
@@ -533,9 +577,99 @@ let analyze_cmd =
               spec_findings @ usage_findings)
             issues
         in
+        (* With --plan: run the static plan-effect analysis per ticket,
+           then use twin replay as the soundness oracle — the static
+           answer must over-approximate the exact one, never undercut
+           it. *)
+        let plan_findings, plan_failures =
+          if not plan then ([], [])
+          else
+            let policies =
+              match Experiments.scenario_of_name target with
+              | Some sc -> sc.Experiments.policies
+              | None -> []
+            in
+            List.fold_left
+              (fun (findings_acc, fail_acc) (issue : Heimdall_msp.Issue.t) ->
+                let label = "ticket:" ^ issue.name in
+                let broken = issue.inject net in
+                let slice =
+                  Heimdall_twin.Twin.slice_nodes ~production:broken
+                    ~endpoints:issue.ticket.endpoints ()
+                in
+                let spec =
+                  Heimdall_msp.Priv_gen.for_ticket ~network:broken ~slice issue.ticket
+                in
+                let ticket =
+                  {
+                    Plan_lint.label;
+                    spec;
+                    scope = slice;
+                    commands = issue.fix_commands;
+                  }
+                in
+                let plan_diags =
+                  Lint.check_plans ~engine ~network:broken ~policies [ ticket ]
+                in
+                let script =
+                  Heimdall_sem.Plan_sem.script_of_commands issue.fix_commands
+                in
+                let analysis =
+                  Heimdall_sem.Plan_sem.analyze ~network:broken
+                    script.Heimdall_sem.Plan_sem.script_changes
+                in
+                let proof =
+                  Heimdall_sem.Plan_sem.prove ~spec
+                    (Heimdall_sem.Plan_sem.plan_requirements ~network:broken script)
+                in
+                let em =
+                  Heimdall_twin.Twin.build ~production:broken
+                    ~endpoints:issue.ticket.endpoints ()
+                in
+                let session = Heimdall_twin.Twin.open_session ~privilege:spec em in
+                ignore (Heimdall_twin.Session.exec_many session issue.fix_commands);
+                let changes =
+                  Heimdall_twin.Emulation.changes
+                    (Heimdall_twin.Session.emulation session)
+                in
+                let exact =
+                  exact_session_delta
+                    (Heimdall_twin.Emulation.baseline em)
+                    (Heimdall_twin.Emulation.network em)
+                in
+                let fails = [] in
+                let fails =
+                  if Packet_set.subset exact analysis.Heimdall_sem.Plan_sem.delta
+                  then fails
+                  else
+                    Printf.sprintf
+                      "%s: predicted delta does NOT contain the exact post-apply ACL diff"
+                      label
+                    :: fails
+                in
+                let denied = Heimdall_twin.Session.denied_count session in
+                let priv_rej =
+                  Heimdall_enforcer.Verifier.privilege_rejections ~privilege:spec
+                    changes
+                in
+                let fails =
+                  if
+                    proof.Heimdall_sem.Plan_sem.sufficient
+                    && (denied > 0 || priv_rej <> [])
+                  then
+                    Printf.sprintf
+                      "%s: statically sufficient, but replay denied %d command(s) and rejected %d change(s)"
+                      label denied (List.length priv_rej)
+                    :: fails
+                  else fails
+                in
+                (findings_acc @ plan_diags, fail_acc @ List.rev fails))
+              ([], []) issues
+        in
         let findings, fail =
           Lint.apply_severity ~min_severity:severity
-            (List.sort Diagnostic.compare (net_findings @ issue_findings))
+            (List.sort Diagnostic.compare
+               (net_findings @ issue_findings @ plan_findings))
         in
         let header =
           let acl_count =
@@ -551,17 +685,82 @@ let analyze_cmd =
                 Printf.sprintf " [seeded union-shadow defect into %s/%s]" node acl
             | None -> "")
         in
-        print_report_and_exit ~name ~json ~header findings ~fail
+        (* Soundness verdicts go to stderr so --json output stays a
+           single clean report. *)
+        List.iter (fun m -> prerr_endline ("plan soundness: FAIL — " ^ m)) plan_failures;
+        if plan && plan_failures = [] then
+          prerr_endline
+            (Printf.sprintf
+               "plan soundness: %d ticket(s) checked — predicted delta contains the \
+                exact diff, privilege verdict agrees with replay"
+               (List.length issues));
+        print_report_and_exit ~name ~json ~header findings
+          ~fail:(fail || plan_failures <> [])
   in
   Cmd.v
     (Cmd.info "analyze"
        ~doc:
          "Semantic static analysis: exact packet-set ACL checks (ACL004/ACL005), \
-          network-wide cross-device checks (NET001-NET006) and privilege over-grant \
-          detection (PRV004); exit non-zero on error-severity findings")
+          network-wide cross-device checks (NET001-NET006), privilege over-grant \
+          detection (PRV004) and, with --plan, static plan-effect analysis \
+          (PLAN001-PLAN005) with a replay soundness check; exit non-zero on \
+          error-severity findings")
     Term.(
       const run $ lint_target_arg $ lint_json_flag $ lint_severity_arg $ lint_domains_arg
-      $ lint_rules_flag $ seed_defect_flag $ dp_cache_arg)
+      $ lint_rules_flag $ seed_defect_flag $ plan_flag $ dp_cache_arg)
+
+(* ---------------- conflicts ---------------- *)
+
+let conflicts_cmd =
+  let seed_overlap_flag =
+    Arg.(
+      value & flag
+      & info [ "seed-overlap" ]
+          ~doc:
+            "Self-test: resubmit the first ticket's plan as a synthetic concurrent \
+             ticket.  The run must report plan.conflict and exit non-zero.")
+  in
+  let run (sc : Experiments.scenario) seed_overlap =
+    let open Heimdall_enforcer in
+    let tickets =
+      List.map
+        (fun (issue : Heimdall_msp.Issue.t) ->
+          let script = Heimdall_sem.Plan_sem.script_of_commands issue.fix_commands in
+          {
+            Mediator.label = issue.name;
+            changes = script.Heimdall_sem.Plan_sem.script_changes;
+          })
+        sc.Experiments.issues
+    in
+    let tickets =
+      if seed_overlap then
+        match tickets with
+        | first :: _ ->
+            tickets @ [ { first with Mediator.label = "overlap-" ^ first.label } ]
+        | [] ->
+            prerr_endline "heimdall: --seed-overlap needs at least one ticket";
+            exit 124
+      else tickets
+    in
+    let decision = Mediator.mediate ~network:sc.Experiments.net tickets in
+    List.iter
+      (fun ((t : Mediator.ticket), c) ->
+        Printf.printf "%s (holding %s)\n" (Mediator.conflict_to_string c) t.label)
+      decision.Mediator.held;
+    Printf.printf "conflicts %s: %d ticket(s), %d admitted, %d held\n"
+      sc.Experiments.scenario_name (List.length tickets)
+      (List.length decision.Mediator.admitted)
+      (List.length decision.Mediator.held);
+    if decision.Mediator.held <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "conflicts"
+       ~doc:
+         "Statically mediate the scenario's tickets as concurrent in-flight plans: \
+          extract each fix script's changes without executing anything, intersect \
+          footprints and predicted packet-set deltas, and hold the later of any \
+          colliding pair; exit non-zero when a ticket is held")
+    Term.(const run $ network_arg $ seed_overlap_flag)
 
 (* ---------------- experiment ---------------- *)
 
@@ -827,6 +1026,7 @@ let () =
             mine_cmd;
             lint_cmd;
             analyze_cmd;
+            conflicts_cmd;
             trace_cmd;
             ticket_cmd;
             privilege_cmd;

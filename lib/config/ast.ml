@@ -64,13 +64,36 @@ let compare_static a b =
   | 0 -> Ipv4.compare a.sr_next_hop b.sr_next_hop
   | c -> c
 
+(* Secrets have no semantic order; sorting them makes two configs that
+   hold the same credentials structurally equal regardless of the order
+   [Set_secret] edits replaced slots in. *)
+let compare_secret (a : secret) (b : secret) = compare a b
+
 let normalize t =
+  let ospf =
+    match t.ospf with
+    | Some o -> (
+        let networks =
+          List.sort (fun (p, _) (p', _) -> Prefix.compare p p') o.networks
+        in
+        (* [Ospf_remove_network] on the last statement leaves an empty
+           default process behind; collapse it back to "no ospf" — the
+           inverse of what [Ospf_set_network] creates on demand — so the
+           round trip through diff/apply is structural, not just
+           behavioural. *)
+        match networks with
+        | [] when o.router_id = None && not o.default_originate -> None
+        | _ -> Some { o with networks })
+    | None -> None
+  in
   {
     t with
     interfaces = List.sort (fun a b -> String.compare a.if_name b.if_name) t.interfaces;
     vlans = List.sort (fun (a, _) (b, _) -> Int.compare a b) t.vlans;
     acls = List.sort (fun (a : Acl.t) (b : Acl.t) -> String.compare a.name b.name) t.acls;
     static_routes = List.sort compare_static t.static_routes;
+    ospf;
+    secrets = List.sort compare_secret t.secrets;
   }
 
 let make ?(interfaces = []) ?(vlans = []) ?(acls = []) ?(static_routes = []) ?ospf ?bgp

@@ -80,7 +80,11 @@ val make : ?interfaces:interface list -> ?vlans:(int * string) list ->
 (** [make hostname] builds a config, normalising component order. *)
 
 val normalize : t -> t
-(** Re-sort the list-valued fields into canonical order. *)
+(** Re-sort the list-valued fields (interfaces, VLANs, ACLs, static
+    routes, OSPF network statements, secrets) into canonical order, and
+    collapse an OSPF process with no networks, no router id and no
+    default-originate back to [None] (the inverse of the empty process
+    {!Change.apply} creates on demand). *)
 
 val equal : t -> t -> bool
 (** Structural equality on normalised configs. *)

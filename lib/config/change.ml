@@ -55,7 +55,16 @@ let apply op (cfg : Ast.t) =
       | Some a ->
           if Acl.find_rule seq a = None then
             Error (Printf.sprintf "%s: access-list %s has no rule %d" cfg.hostname acl seq)
-          else Ok (Ast.update_acl (Acl.remove_rule seq a) cfg))
+          else
+            (* Removing the last rule drops the list entirely: an empty
+               ACL and a missing one are dataplane-equivalent (a binding
+               to either fails closed), and [diff] has no way to express
+               "create an empty ACL" — keeping ops closed over the
+               no-empty-ACL invariant makes the diff/apply round trip
+               exact. *)
+            let a' = Acl.remove_rule seq a in
+            if a'.Acl.rules = [] then Ok (Ast.remove_acl acl cfg)
+            else Ok (Ast.update_acl a' cfg))
   | Acl_remove { acl } ->
       if Ast.find_acl acl cfg = None then
         Error (Printf.sprintf "%s: no such access-list %s" cfg.hostname acl)

@@ -18,6 +18,9 @@ type op =
   | Acl_set_rule of { acl : string; rule : Acl.rule }
       (** Insert, or replace the rule with the same sequence number. *)
   | Acl_remove_rule of { acl : string; seq : int }
+      (** Removing the last rule drops the (now empty) list entirely —
+          an empty ACL and a missing one are dataplane-equivalent, both
+          fail closed when bound. *)
   | Acl_remove of { acl : string }
   | Add_static_route of Ast.static_route
   | Remove_static_route of { prefix : Prefix.t; next_hop : Ipv4.t }

@@ -4,6 +4,7 @@ open Heimdall_verify
 type outcome = {
   approved : bool;
   rejections : Verifier.rejection list;
+  conflicts : Mediator.conflict list;
   plan : Scheduler.plan option;
   updated : Heimdall_control.Network.t option;
   apply : Applier.summary option;
@@ -70,7 +71,7 @@ let session_acl_diffs emulation =
     (Heimdall_control.Network.node_names after)
 
 let process ?(enclave = default_enclave) ?engine ?obs ?injector ?max_attempts
-    ~production ~policies ~privilege ~session () =
+    ?(in_flight = []) ~production ~policies ~privilege ~session () =
   let obs =
     match obs with Some _ -> obs | None -> Option.bind engine Engine.obs
   in
@@ -89,6 +90,61 @@ let process ?(enclave = default_enclave) ?engine ?obs ?injector ?max_attempts
           ~verdict:"recorded" audit
     | None -> audit
   in
+  (* Pre-flight conflict mediation: intersect this session's static
+     footprint and predicted delta with every in-flight plan.  A
+     conflicting session is held — not rejected on its merits — before
+     any verification work is spent on it; the audit trail says why. *)
+  let session_label = "session" in
+  let conflicts =
+    match in_flight with
+    | [] -> []
+    | _ ->
+        let tickets =
+          List.map
+            (fun (label, chs) -> { Mediator.label; changes = chs })
+            in_flight
+          @ [ { Mediator.label = session_label; changes } ]
+        in
+        let d = Mediator.mediate ~network:production tickets in
+        List.filter_map
+          (fun ((t : Mediator.ticket), c) ->
+            if t.label = session_label then Some c else None)
+          d.Mediator.held
+  in
+  if conflicts <> [] then begin
+    let audit =
+      List.fold_left
+        (fun audit (c : Mediator.conflict) ->
+          Heimdall_obs.Obs.event obs "plan.conflict"
+            ~attrs:
+              [
+                ("first", c.first);
+                ("second", c.second);
+                ("shared_slots", string_of_int (List.length c.shared_footprint));
+              ];
+          Audit.append ~actor:"enforcer" ~action:"plan.conflict" ~resource:c.first
+            ~detail:(Mediator.conflict_to_string c) ~verdict:"held" audit)
+        audit conflicts
+    in
+    let head = Audit.head audit in
+    {
+      approved = false;
+      rejections = [];
+      conflicts;
+      plan = None;
+      updated = None;
+      apply = None;
+      fixed_policies = [];
+      impact = None;
+      lint_findings = [];
+      sem_findings = [];
+      acl_diffs = [];
+      audit;
+      report = Enclave.attest enclave ~report_data:head;
+      sealed_head = Enclave.seal enclave head;
+    }
+  end
+  else
   let verdict =
     Verifier.verify ?engine ?obs ~production ~policies ~privilege ~changes ()
   in
@@ -183,6 +239,7 @@ let process ?(enclave = default_enclave) ?engine ?obs ?injector ?max_attempts
     {
       approved = false;
       rejections = verdict.rejections;
+      conflicts = [];
       plan = None;
       updated = None;
       apply = None;
@@ -207,6 +264,7 @@ let process ?(enclave = default_enclave) ?engine ?obs ?injector ?max_attempts
         {
           approved = false;
           rejections = [ Verifier.Apply_error m ];
+          conflicts = [];
           plan = None;
           updated = None;
           apply = None;
@@ -264,6 +322,7 @@ let process ?(enclave = default_enclave) ?engine ?obs ?injector ?max_attempts
         {
           approved = true;
           rejections = [];
+          conflicts = [];
           plan = Some plan;
           updated = Some updated;
           apply = Some apply;
@@ -283,6 +342,9 @@ let outcome_to_string o =
   List.iter
     (fun r -> Buffer.add_string buf ("  " ^ Verifier.rejection_to_string r ^ "\n"))
     o.rejections;
+  List.iter
+    (fun c -> Buffer.add_string buf ("  " ^ Mediator.conflict_to_string c ^ "\n"))
+    o.conflicts;
   (match o.plan with
   | Some p -> Buffer.add_string buf (Scheduler.plan_to_string p)
   | None -> ());

@@ -13,6 +13,11 @@ open Heimdall_verify
 type outcome = {
   approved : bool;
   rejections : Verifier.rejection list;
+  conflicts : Mediator.conflict list;
+      (** Non-empty iff the session was {e held}: its static footprint or
+          predicted delta collides with an in-flight plan.  A held
+          session is not rejected on its merits — resubmit once the
+          conflicting plan lands. *)
   plan : Scheduler.plan option;  (** Present iff approved. *)
   updated : Network.t option;
       (** Production after import, iff approved: the plan's final
@@ -51,6 +56,7 @@ val process :
   ?obs:Heimdall_obs.Obs.t ->
   ?injector:Heimdall_faults.Injector.t ->
   ?max_attempts:int ->
+  ?in_flight:(string * Heimdall_config.Change.t list) list ->
   production:Network.t ->
   policies:Policy.t list ->
   privilege:Privilege.t ->
@@ -59,6 +65,14 @@ val process :
   outcome
 (** Run the pipeline.  On rejection, [updated] is [None] and production
     is untouched.
+
+    [?in_flight] (labelled change lists of already-admitted concurrent
+    plans, submission order) enables pre-flight conflict mediation: the
+    session's changes are statically intersected with each in-flight
+    plan (see {!Mediator}) {e before} any verification work is spent,
+    and on collision the session is held — [approved = false],
+    [conflicts] non-empty, one [plan.conflict] audit record and obs
+    event per collision.
 
     With [?injector] the approved plan is pushed through the
     transactional {!Applier} under that fault plan ([?max_attempts]

@@ -8,9 +8,17 @@ type step = {
   checkpoint : Network.t;
 }
 
-type plan = { steps : step list; safe : bool }
+type plan = {
+  steps : step list;
+  safe : bool;
+  footprint : (string * Heimdall_sem.Plan_sem.section) list;
+}
 
 let plan ?engine ?obs ~production ~policies ~changes () =
+  (* The static write footprint does not depend on scheduling order (or
+     on the network), so it is computed once up front — the mediator and
+     audit trail consume it even when planning later fails. *)
+  let footprint = (Heimdall_sem.Plan_sem.analyze changes).Heimdall_sem.Plan_sem.footprint in
   let obs =
     match obs with Some _ -> obs | None -> Option.bind engine Engine.obs
   in
@@ -38,7 +46,11 @@ let plan ?engine ?obs ~production ~policies ~changes () =
     match remaining with
     | [] ->
         let steps = List.rev steps in
-        Ok ({ steps; safe = List.for_all (fun s -> s.transient_violations = []) steps }, current)
+        Ok
+          ( { steps;
+              safe = List.for_all (fun s -> s.transient_violations = []) steps;
+              footprint },
+            current )
     | _ ->
         (* Evaluate each candidate's transient damage. *)
         let evaluate c =
@@ -86,7 +98,7 @@ let plan ?engine ?obs ~production ~policies ~changes () =
   in
   let result =
     match changes with
-    | [] -> Ok ({ steps = []; safe = true }, production)
+    | [] -> Ok ({ steps = []; safe = true; footprint }, production)
     | _ -> go production (held_of (check production)) changes []
   in
   (match result with
@@ -113,5 +125,9 @@ let plan_to_string p =
            | [] -> ""
            | vs -> Printf.sprintf "  (transient: %d violations)" (List.length vs))))
     p.steps;
+  if p.footprint <> [] then
+    Buffer.add_string buf
+      (Printf.sprintf "footprint: %s\n"
+         (Heimdall_sem.Plan_sem.footprint_to_string p.footprint));
   Buffer.add_string buf (if p.safe then "plan: safe\n" else "plan: contains transient violations\n");
   Buffer.contents buf

@@ -27,6 +27,10 @@ type step = {
 type plan = {
   steps : step list;  (** Execution order. *)
   safe : bool;  (** No step has transient violations. *)
+  footprint : (string * Heimdall_sem.Plan_sem.section) list;
+      (** Static (device, config-section) write footprint of the whole
+          change set (see {!Heimdall_sem.Plan_sem}) — what the conflict
+          mediator intersects across concurrent in-flight plans. *)
 }
 
 val plan :

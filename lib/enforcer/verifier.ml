@@ -22,15 +22,16 @@ type outcome = {
   fixed_policies : Policy.t list;
 }
 
+(* Requests are built by Plan_sem — the same construction the static
+   pre-flight proof evaluates, so "statically sufficient" and "no
+   rejection here" can never disagree about a change. *)
 let privilege_rejections ~privilege changes =
   List.filter_map
     (fun (c : Change.t) ->
-      let action = Change.op_action_name c.op in
-      let request =
-        Privilege.request ?iface:(Change.target_iface c.op) action c.node
-      in
-      if Privilege.allows privilege request then None
-      else Some (Privilege_violation { change = c; action }))
+      let r = Heimdall_sem.Plan_sem.op_requirement c in
+      if Privilege.allows privilege (Heimdall_sem.Plan_sem.request_of_requirement r)
+      then None
+      else Some (Privilege_violation { change = c; action = r.req_action }))
     changes
 
 let verify ?engine ?obs ~production ~policies ~privilege ~changes () =

@@ -25,6 +25,13 @@ type rejection =
 
 val rejection_to_string : rejection -> string
 
+val privilege_rejections : privilege:Privilege.t -> Change.t list -> rejection list
+(** Just the privilege gate: one [Privilege_violation] per change the
+    spec denies.  Requests are built by {!Heimdall_sem.Plan_sem} — the
+    same construction the static pre-flight proof evaluates — so this
+    can never disagree with a plan proved sufficient.  Exposed as the
+    replay-side oracle for that proof. *)
+
 type outcome = {
   accepted : bool;
   rejections : rejection list;

@@ -3,13 +3,14 @@ open Heimdall_verify
 
 (* ---------------- rule registry ---------------- *)
 
-type family = Config | Acl | Net | Privilege
+type family = Config | Acl | Net | Privilege | Plan
 
 let family_to_string = function
   | Config -> "config"
   | Acl -> "acl"
   | Net -> "net"
   | Privilege -> "privilege"
+  | Plan -> "plan"
 
 type rule = {
   code : string;
@@ -68,6 +69,16 @@ let rules =
       summary = "over-broad grant (allow everything on every device)" };
     { code = "PRV004"; family = Privilege; severity = Diagnostic.Warning;
       summary = "grant strictly exceeds the privilege the changes exercised" };
+    { code = "PLAN001"; family = Plan; severity = Diagnostic.Error;
+      summary = "plan requires a privilege the grant denies (would fail mid-apply)" };
+    { code = "PLAN002"; family = Plan; severity = Diagnostic.Warning;
+      summary = "dead op: removing it leaves the plan's outcome unchanged" };
+    { code = "PLAN003"; family = Plan; severity = Diagnostic.Warning;
+      summary = "self-contradicting plan: ops race for one write slot, the last silently wins" };
+    { code = "PLAN004"; family = Plan; severity = Diagnostic.Warning;
+      summary = "write footprint outside the ticket scope" };
+    { code = "PLAN005"; family = Plan; severity = Diagnostic.Info;
+      summary = "predicted packet-set delta covers a policy's flow" };
   ]
 
 let rule code = List.find_opt (fun r -> r.code = code) rules
@@ -118,6 +129,23 @@ let check_acl = Acl_lint.check
 
 let check_privilege_usage ?label ~network ~spec ~changes () =
   Priv_lint.check_usage ?label ~network ~spec ~changes ()
+
+let check_plans ?engine ?obs ?(policies = []) ~network tickets =
+  let obs = match obs with Some _ -> obs | None -> Option.bind engine Engine.obs in
+  Heimdall_obs.Obs.span obs "lint.check_plans" (fun () ->
+      let check_one t = Plan_lint.check ~network ~policies t in
+      let per_ticket =
+        match engine with
+        | None -> List.map check_one tickets
+        | Some e ->
+            Engine.phase e "lint/plans" (fun () ->
+                Engine.map ~min_per_domain:1 e check_one tickets)
+      in
+      let findings = List.sort Diagnostic.compare (List.concat per_ticket) in
+      Heimdall_obs.Obs.add_attr obs "tickets" (string_of_int (List.length tickets));
+      Heimdall_obs.Obs.add_attr obs "findings" (string_of_int (List.length findings));
+      Heimdall_obs.Obs.incr obs ~by:(List.length findings) "lint.findings";
+      findings)
 
 (* ---------------- filtering and rendering ---------------- *)
 

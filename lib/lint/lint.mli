@@ -16,7 +16,7 @@ open Heimdall_verify
 
 (** {1 Rule registry} *)
 
-type family = Config | Acl | Net | Privilege
+type family = Config | Acl | Net | Privilege | Plan
 
 val family_to_string : family -> string
 
@@ -67,6 +67,19 @@ val check_privilege_usage :
 (** PRV004: grants of [spec] that strictly exceed the privilege the
     change list exercised (see {!Heimdall_sem.Priv_sem}).  [label] is
     recorded as the diagnostics' device field. *)
+
+val check_plans :
+  ?engine:Engine.t ->
+  ?obs:Heimdall_obs.Obs.t ->
+  ?policies:Heimdall_verify.Policy.t list ->
+  network:Network.t ->
+  Plan_lint.ticket list ->
+  Diagnostic.t list
+(** All PLAN-family findings for a batch of tickets (see {!Plan_lint}):
+    static pre-flight analysis of each ticket's fix script against its
+    privilege grant, scope, and the given policies — nothing executes.
+    Tickets fan out through [engine] when one is given; the report is in
+    canonical order, byte-identical at any domain count. *)
 
 (** {1 Filtering and rendering} *)
 

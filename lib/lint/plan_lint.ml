@@ -1,0 +1,79 @@
+open Heimdall_privilege
+open Heimdall_sem
+
+(* PLAN-family lint: pre-flight analysis of a ticket's fix script,
+   before anything touches a twin or production.  Everything here is
+   derived from Plan_sem's static effect signatures. *)
+
+type ticket = {
+  label : string;
+  spec : Privilege.t;
+  scope : string list;
+  commands : string list;
+}
+
+let v ?obj ?line ~label code severity message =
+  Diagnostic.v ~device:label ?obj ?line ~code severity message
+
+let check ?network ?(policies = []) (t : ticket) =
+  let label = t.label in
+  let script = Plan_sem.script_of_commands t.commands in
+  let analysis = Plan_sem.analyze ?network script.script_changes in
+  let requirements = Plan_sem.plan_requirements ?network script in
+  let proof = Plan_sem.prove ~spec:t.spec requirements in
+  let insufficient =
+    List.map
+      (fun (r : Plan_sem.requirement) ->
+        v ~label ~obj:r.req_node "PLAN001" Diagnostic.Error
+          (Printf.sprintf
+             "plan requires %s, which the granted privilege denies (%s would fail mid-apply)"
+             (Plan_sem.requirement_to_string r) r.source))
+      proof.missing
+  in
+  let dead =
+    List.map
+      (fun (i, c) ->
+        v ~label ~obj:c.Heimdall_config.Change.node ~line:(i + 1) "PLAN002"
+          Diagnostic.Warning
+          (Printf.sprintf "dead op (removing it leaves the plan's outcome unchanged): %s"
+             (Heimdall_config.Change.to_string c)))
+      analysis.dead
+  in
+  let contradicting =
+    List.map
+      (fun (slot, racing) ->
+        v ~label ~obj:slot "PLAN003" Diagnostic.Warning
+          (Printf.sprintf
+             "self-contradicting plan: %d ops race for the same slot, the last silently wins: %s"
+             (List.length racing)
+             (String.concat "; "
+                (List.map Heimdall_config.Change.to_string racing))))
+      analysis.contradictions
+  in
+  let out_of_scope =
+    match t.scope with
+    | [] -> []
+    | scope ->
+        analysis.footprint
+        |> List.filter (fun (node, _) -> not (List.mem node scope))
+        |> List.map (fun (node, section) ->
+               v ~label ~obj:node "PLAN004" Diagnostic.Warning
+                 (Printf.sprintf
+                    "write footprint outside the ticket scope: %s/%s"
+                    node
+                    (Plan_sem.section_to_string section)))
+  in
+  let policy_relevant =
+    if Heimdall_net.Packet_set.is_empty analysis.delta then []
+    else
+      policies
+      |> List.filter (fun (p : Heimdall_verify.Policy.t) ->
+             Heimdall_net.Packet_set.mem analysis.delta p.flow)
+      |> List.map (fun (p : Heimdall_verify.Policy.t) ->
+             v ~label ~obj:p.id "PLAN005" Diagnostic.Info
+               (Printf.sprintf
+                  "predicted delta covers the flow of policy %s (%s -> %s); post-apply verification is not optional"
+                  p.id p.src_label p.dst_label))
+  in
+  List.sort Diagnostic.compare
+    (insufficient @ dead @ contradicting @ out_of_scope @ policy_relevant)

@@ -1,0 +1,28 @@
+(** PLAN-family lint: static pre-flight checks on a ticket's fix script.
+
+    Runs {!Heimdall_sem.Plan_sem} over the script and turns its analysis
+    into diagnostics: privilege insufficiency (PLAN001), dead ops
+    (PLAN002), self-contradictions (PLAN003), writes outside the ticket
+    scope (PLAN004), and predicted policy-relevant deltas (PLAN005).
+    Nothing here executes a command or builds a dataplane. *)
+
+open Heimdall_control
+open Heimdall_privilege
+
+type ticket = {
+  label : string;  (** Recorded as the diagnostics' device field. *)
+  spec : Privilege.t;  (** The privilege grant the ticket runs under. *)
+  scope : string list;
+      (** Devices the ticket is entitled to touch; [[]] disables the
+          PLAN004 scope check. *)
+  commands : string list;  (** The fix script, one command per line. *)
+}
+
+val check :
+  ?network:Network.t ->
+  ?policies:Heimdall_verify.Policy.t list ->
+  ticket ->
+  Diagnostic.t list
+(** All PLAN findings for one ticket, in canonical order.  [network]
+    tightens the packet-set deltas and enables dead-op detection;
+    [policies] enables PLAN005. *)

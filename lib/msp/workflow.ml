@@ -68,8 +68,8 @@ let run_current ~production ~(issue : Issue.t) =
     final_network;
   }
 
-let run_heimdall ?(strategy = Slicer.Task) ?engine ?obs ~production ~policies
-    ~(issue : Issue.t) () =
+let run_heimdall ?(strategy = Slicer.Task) ?engine ?obs ?(in_flight = [])
+    ~production ~policies ~(issue : Issue.t) () =
   let obs =
     match obs with
     | Some _ -> obs
@@ -97,6 +97,36 @@ let run_heimdall ?(strategy = Slicer.Task) ?engine ?obs ~production ~policies
           human_s = Timing.privilege_review_s;
           compute_s = privgen_compute;
         }
+      in
+      (* Static pre-flight: prove, before any twin boots, that the
+         generated grant is sufficient for the ticket's fix script — a
+         plan that would die of a mid-apply denial is caught here for
+         free.  Advisory at this stage (the enforcer re-checks); the
+         verdict lands in the trace. *)
+      let () =
+        let script =
+          Heimdall_sem.Plan_sem.script_of_commands issue.fix_commands
+        in
+        let proof =
+          Heimdall_sem.Plan_sem.prove ~spec:privilege
+            (Heimdall_sem.Plan_sem.plan_requirements ~network:broken script)
+        in
+        let analysis =
+          Heimdall_sem.Plan_sem.analyze ~network:broken
+            script.Heimdall_sem.Plan_sem.script_changes
+        in
+        Heimdall_obs.Obs.event obs "plan.preflight"
+          ~attrs:
+            [
+              ("issue", issue.name);
+              ("sufficient", string_of_bool proof.Heimdall_sem.Plan_sem.sufficient);
+              ( "missing",
+                string_of_int
+                  (List.length proof.Heimdall_sem.Plan_sem.missing) );
+              ( "footprint",
+                string_of_int
+                  (List.length analysis.Heimdall_sem.Plan_sem.footprint) );
+            ]
       in
       (* Step 2: build the twin (slice, scrub, boot, precompute dataplane). *)
       let emulation, twin_compute =
@@ -135,8 +165,8 @@ let run_heimdall ?(strategy = Slicer.Task) ?engine ?obs ~production ~policies
       let outcome, verify_compute =
         Heimdall_obs.Obs.span obs "workflow.verify" (fun () ->
             Timing.elapsed (fun () ->
-                Heimdall_enforcer.Enforcer.process ?engine ?obs ~production:broken
-                  ~policies ~privilege ~session ()))
+                Heimdall_enforcer.Enforcer.process ?engine ?obs ~in_flight
+                  ~production:broken ~policies ~privilege ~session ()))
       in
       let verify =
         {

@@ -37,6 +37,7 @@ val run_heimdall :
   ?strategy:Heimdall_twin.Slicer.strategy ->
   ?engine:Engine.t ->
   ?obs:Heimdall_obs.Obs.t ->
+  ?in_flight:(string * Heimdall_config.Change.t list) list ->
   production:Network.t ->
   policies:Policy.t list ->
   issue:Issue.t ->
@@ -44,7 +45,14 @@ val run_heimdall :
   run
 (** Heimdall's workflow: generate a Privilege_msp for the ticket, build
     the twin, execute the same fix script inside it, then verify and
-    schedule the changes into production.
+    schedule the changes into production.  Right after privilege
+    generation a static pre-flight ({!Heimdall_sem.Plan_sem}) proves the
+    grant sufficient for the fix script and records the verdict as a
+    [plan.preflight] obs event — before any twin boots.
+
+    [?in_flight] forwards concurrent admitted plans to the enforcer's
+    conflict mediation stage (see {!Heimdall_enforcer.Enforcer.process});
+    a colliding session comes back held, not approved.
 
     With [?engine] the verification stages share its memoized dataplanes
     and domain pool.  With [?obs] (or an engine carrying one) the whole

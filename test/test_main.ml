@@ -11,6 +11,7 @@ let () =
       ("privilege", Test_privilege.suite);
       ("lint", Test_lint.suite);
       ("sem", Test_sem.suite);
+      ("plan", Test_plan.suite);
       ("obs", Test_obs.suite);
       ("twin", Test_twin.suite);
       ("enforcer", Test_enforcer.suite);

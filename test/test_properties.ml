@@ -320,6 +320,78 @@ let prop_loader_roundtrip =
             (fun (n1, c1) (n2, c2) -> n1 = n2 && Ast.equal c1 c2)
             (Network.configs mutated) (Network.configs loaded))
 
+(* Diff/apply round-trip: for any config reachable from a base by a
+   sequence of ops, [apply_all (diff base after)] reconstructs [after]
+   up to normalization.  This is the contract the plan analyzer's
+   predicted-diff requirements rest on. *)
+let roundtrip_ops =
+  let rule seq action =
+    Acl.rule ~proto:(Acl.Proto Flow.Tcp) ~dst_port:(Acl.Eq 443) ~seq action
+      (Prefix.of_string "10.9.0.0/16")
+      Prefix.any
+  in
+  [|
+    Change.Set_interface_enabled { iface = "eth0"; enabled = false };
+    Change.Set_interface_enabled { iface = "eth0"; enabled = true };
+    Change.Set_interface_addr
+      { iface = "eth1"; addr = Some (Ifaddr.of_string "10.77.0.1/24") };
+    Change.Set_interface_description { iface = "eth0"; description = Some "lab" };
+    Change.Set_interface_description { iface = "eth0"; description = None };
+    Change.Set_ospf_cost { iface = "eth0"; cost = Some 42 };
+    Change.Set_ospf_cost { iface = "eth0"; cost = None };
+    Change.Set_ospf_area { iface = "eth1"; area = Some 7 };
+    Change.Set_acl_binding { iface = "eth0"; dir = `In; acl = Some "RT_ACL" };
+    Change.Set_acl_binding { iface = "eth0"; dir = `In; acl = None };
+    Change.Acl_set_rule { acl = "RT_ACL"; rule = rule 10 Acl.Permit };
+    Change.Acl_set_rule { acl = "RT_ACL"; rule = rule 20 Acl.Deny };
+    Change.Acl_remove_rule { acl = "RT_ACL"; seq = 10 };
+    Change.Acl_remove { acl = "RT_ACL" };
+    Change.Add_static_route
+      { Ast.sr_prefix = Prefix.of_string "172.31.0.0/16";
+        sr_next_hop = Ipv4.of_string "10.200.0.9";
+        sr_distance = 3 };
+    Change.Remove_static_route
+      { prefix = Prefix.of_string "172.31.0.0/16";
+        next_hop = Ipv4.of_string "10.200.0.9" };
+    Change.Set_default_gateway (Some (Ipv4.of_string "10.1.1.1"));
+    Change.Set_default_gateway None;
+    Change.Ospf_set_network { prefix = Prefix.of_string "10.66.0.0/16"; area = 0 };
+    Change.Ospf_remove_network { prefix = Prefix.of_string "10.66.0.0/16" };
+    Change.Set_vlan_name { vlan = 77; name = Some "lab" };
+    Change.Set_vlan_name { vlan = 77; name = None };
+    Change.Set_secret (Ast.Enable_secret "s3cr3t");
+    Change.Set_secret (Ast.Snmp_community "comm77");
+  |]
+
+let prop_diff_apply_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"apply_all (diff a b) reconstructs b"
+    (QCheck.pair
+       (QCheck.oneofl [ "r2"; "r4"; "r5" ])
+       (QCheck.list_of_size (QCheck.Gen.int_range 0 12)
+          (QCheck.int_bound (Array.length roundtrip_ops - 1))))
+    (fun (node, picks) ->
+      let net, _ = Lazy.force net_and_policies in
+      let base = Option.get (Network.config node net) in
+      (* Ops whose precondition fails (e.g. removing an absent rule) are
+         skipped; the rest drive [base] to a random reachable [after]. *)
+      let after =
+        List.fold_left
+          (fun cfg i ->
+            match Change.apply roundtrip_ops.(i) cfg with
+            | Ok cfg' -> cfg'
+            | Error _ -> cfg)
+          base picks
+      in
+      let changes = Change.diff ~node base after in
+      let lookup n = if n = node then Some base else None in
+      match Change.apply_all changes lookup with
+      | Error _ -> false
+      | Ok results ->
+          let rebuilt =
+            match List.assoc_opt node results with Some c -> c | None -> base
+          in
+          Ast.equal rebuilt after)
+
 let test_dataplane_rebuild_stable () =
   (* Computing the dataplane twice yields identical route tables. *)
   let net, _ = Lazy.force net_and_policies in
@@ -344,5 +416,6 @@ let suite =
     QCheck_alcotest.to_alcotest prop_slicer_invariants;
     QCheck_alcotest.to_alcotest prop_no_secret_leakage;
     QCheck_alcotest.to_alcotest prop_loader_roundtrip;
+    QCheck_alcotest.to_alcotest prop_diff_apply_roundtrip;
     Alcotest.test_case "dataplane rebuild stable" `Quick test_dataplane_rebuild_stable;
   ]
