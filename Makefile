@@ -1,7 +1,7 @@
 # CI entry points.  `make check` is what the pipeline runs on every
 # change: a full build plus the tier-1 test suite.
 
-.PHONY: check build test lint analyze-smoke plan-smoke bench bench-smoke chaos-smoke clean
+.PHONY: check build test lint analyze-smoke plan-smoke bench bench-smoke chaos-smoke serve-smoke clean
 
 check: build test
 
@@ -60,6 +60,16 @@ bench-smoke: build
 chaos-smoke: build
 	dune exec bin/heimdall_cli.exe -- chaos enterprise --seed 42
 	dune exec bench/main.exe -- chaos
+
+# Watchtower smoke: `serve --once` replays the scenario into the live
+# registry, runs a clean -> injected-drift -> clear monitor cycle, then
+# scrapes its own /metrics, /healthz, /metrics.json, /spans and /events
+# over real HTTP (stdlib client) and exits non-zero when any required
+# series or drift transition is missing.  The obs bench gates
+# instrumentation overhead at 10% and persists the "obs" report section.
+serve-smoke: build
+	dune exec bin/heimdall_cli.exe -- serve enterprise --once --port 0
+	dune exec bench/main.exe -- obs
 
 clean:
 	dune clean

@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- fig7 | fig8 | fig9 | engine | lint
                                  | sem | ablation-verify | ablation-slicer
                                  | ablation-audit | containment | chaos
-                                 | micro *)
+                                 | obs | micro *)
 
 open Bechamel
 open Toolkit
@@ -501,6 +501,98 @@ let report_chaos () =
        ]);
   print_newline ()
 
+let report_obs () =
+  print_string "== Observability: workflow overhead with the Watchtower on vs off ==\n";
+  let open Heimdall_verify in
+  let sc =
+    match Experiments.scenario_of_name "enterprise" with
+    | Some sc -> sc
+    | None -> assert false
+  in
+  (* One replay = every enterprise issue through the Heimdall workflow on
+     a single-domain engine (so the measurement is not at the mercy of
+     pool scheduling).  With obs on, the full Watchtower surface is live:
+     spans, labeled metrics, events, plus one runtime-sampler tick. *)
+  let replay ?obs () =
+    let engine = Engine.create ~domains:1 ?obs () in
+    let runs =
+      List.map
+        (fun issue ->
+          Heimdall_msp.Workflow.run_heimdall ~engine
+            ~production:sc.Experiments.net ~policies:sc.Experiments.policies
+            ~issue ())
+        sc.Experiments.issues
+    in
+    (match obs with
+    | Some o ->
+        let runtime = Heimdall_obs.Runtime.create o in
+        Heimdall_obs.Runtime.add_sampler runtime (Engine.runtime_sampler engine);
+        Heimdall_obs.Runtime.sample runtime
+    | None -> ());
+    Engine.shutdown engine;
+    runs
+  in
+  (* Verdict fingerprint: what must be byte-identical with obs on/off.
+     (Audit heads legitimately differ — the enforcer appends the span
+     correlation record only when a tracer is present.) *)
+  let fingerprint runs =
+    List.map
+      (fun (r : Heimdall_msp.Workflow.run) ->
+        ( r.Heimdall_msp.Workflow.issue,
+          r.Heimdall_msp.Workflow.resolved,
+          r.Heimdall_msp.Workflow.denied,
+          Heimdall_control.Network.digest r.Heimdall_msp.Workflow.final_network ))
+      runs
+  in
+  let reps = 5 in
+  (* Min-of-N: the least noisy location estimator for short walls. *)
+  let min_wall f =
+    let rec go best i =
+      if i = 0 then best
+      else
+        let _, t = Heimdall_msp.Timing.elapsed (fun () -> ignore (f ())) in
+        go (Float.min best t) (i - 1)
+    in
+    go infinity reps
+  in
+  let fp_off = fingerprint (replay ()) in
+  let fp_on = fingerprint (replay ~obs:(Heimdall_obs.Obs.create ()) ()) in
+  let off_wall = min_wall (fun () -> replay ()) in
+  let on_wall = min_wall (fun () -> replay ~obs:(Heimdall_obs.Obs.create ()) ()) in
+  let overhead =
+    if off_wall <= 0.0 then 0.0 else (on_wall -. off_wall) /. off_wall
+  in
+  let verdicts_ok = fp_off = fp_on in
+  (* Gate: instrumentation must stay under 10% — with a 10 ms absolute
+     noise floor so a sub-100 ms baseline cannot flake the gate on
+     scheduler jitter. *)
+  let within_budget = overhead <= 0.10 || on_wall -. off_wall < 0.010 in
+  let passed = verdicts_ok && within_budget in
+  Printf.printf "obs off: %.4f s (min of %d); obs on: %.4f s (min of %d)\n" off_wall
+    reps on_wall reps;
+  Printf.printf "overhead: %+.1f%% (budget: 10%%)\n" (overhead *. 100.0);
+  Printf.printf "verdicts identical with obs on/off: %b\n" verdicts_ok;
+  Printf.printf "obs gate: %s\n" (if passed then "PASS" else "FAIL");
+  if not passed then gate_failed := true;
+  let open Heimdall_json in
+  persist_report ~key:"obs"
+    (Json.Obj
+       [
+         ("reps", Json.Int reps);
+         ("wall_s_obs_off", Json.Float off_wall);
+         ("wall_s_obs_on", Json.Float on_wall);
+         ("overhead_fraction", Json.Float overhead);
+         ("verdicts_identical", Json.Bool verdicts_ok);
+         ( "gate",
+           Json.Obj
+             [
+               ("passed", Json.Bool passed);
+               ("verdicts_identical", Json.Bool verdicts_ok);
+               ("overhead_within_10_percent", Json.Bool within_budget);
+             ] );
+       ]);
+  print_newline ()
+
 let report_containment () =
   print_string "== Attack containment (motivating incidents, paper section 2.2) ==\n";
   print_string (Experiments.render_containment (Experiments.attack_containment ()));
@@ -656,6 +748,7 @@ let reports =
     ("containment", report_containment);
     ("campaign", report_campaign);
     ("chaos", report_chaos);
+    ("obs", report_obs);
     ("micro", run_benchmarks);
   ]
 

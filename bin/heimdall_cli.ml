@@ -13,6 +13,8 @@
      sweep      the Figure-8/9 feasibility / attack-surface sweep
      experiment print a paper artifact (table1, fig7, fig8, fig9, ...)
      chaos      replay an issue under a seeded fault plan, check recovery
+     serve      the Watchtower: live metrics/health HTTP exporter plus a
+                continuous drift monitor over a scenario
      shell      interactive technician session (twin or --emergency)
      export     write a network to disk in the loader layout
      load       load + validate a network from disk, mine its policies
@@ -187,6 +189,26 @@ let dump_obs ?trace_out ~metrics (obs : Heimdall_obs.Obs.t) =
       (Heimdall_json.Json.to_string ~pretty:true
          (Heimdall_obs.Metrics.to_json obs.metrics))
 
+(* Replay a scenario's issues through the instrumented workflow on a
+   shared context: the registry is labeled by scenario (via a scoped
+   engine view) and by session (one scoped view per issue), so every
+   series on the /metrics page says which run produced it.  Shared by
+   [obs] and [serve]. *)
+let replay_issues ~engine ~obs ~(sc : Experiments.scenario) issues =
+  List.iter
+    (fun (issue : Heimdall_msp.Issue.t) ->
+      let session_obs =
+        Heimdall_obs.Obs.scoped obs [ ("session", issue.Heimdall_msp.Issue.name) ]
+      in
+      let run =
+        Heimdall_msp.Workflow.run_heimdall ~engine ~obs:session_obs
+          ~production:sc.Experiments.net ~policies:sc.Experiments.policies ~issue ()
+      in
+      Printf.printf "%s: %s, %d denied commands\n" issue.Heimdall_msp.Issue.name
+        (if run.Heimdall_msp.Workflow.resolved then "resolved" else "NOT resolved")
+        run.Heimdall_msp.Workflow.denied)
+    issues
+
 let obs_cmd =
   let issue_opt_arg =
     Arg.(
@@ -202,8 +224,14 @@ let obs_cmd =
       & info [ "domains" ] ~docv:"N"
           ~doc:"Engine domain pool for the instrumented run (default: auto).")
   in
-  let run ({ Experiments.net; policies; _ } as sc) issue_name trace_out metrics domains
-      cache_dir =
+  let prometheus_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prometheus-out" ] ~docv:"FILE"
+          ~doc:"Also write the Prometheus text exposition to $(docv).")
+  in
+  let run sc issue_name trace_out metrics domains cache_dir prometheus_out =
     let issues =
       match issue_name with
       | None -> sc.Experiments.issues
@@ -215,18 +243,20 @@ let obs_cmd =
               exit 1)
     in
     let obs = Heimdall_obs.Obs.create () in
-    let engine = Heimdall_verify.Engine.create ?domains ~obs ?cache_dir () in
-    List.iter
-      (fun (issue : Heimdall_msp.Issue.t) ->
-        let run =
-          Heimdall_msp.Workflow.run_heimdall ~engine ~production:net ~policies ~issue ()
-        in
-        Printf.printf "%s: %s, %d denied commands\n" issue.name
-          (if run.Heimdall_msp.Workflow.resolved then "resolved" else "NOT resolved")
-          run.Heimdall_msp.Workflow.denied)
-      issues;
+    let scoped =
+      Heimdall_obs.Obs.scoped obs [ ("scenario", sc.Experiments.scenario_name) ]
+    in
+    let engine = Heimdall_verify.Engine.create ?domains ~obs:scoped ?cache_dir () in
+    replay_issues ~engine ~obs:scoped ~sc issues;
     print_string (Heimdall_verify.Engine.render_stats (Heimdall_verify.Engine.stats engine));
-    dump_obs ?trace_out ~metrics obs
+    dump_obs ?trace_out ~metrics obs;
+    match prometheus_out with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        output_string oc (Heimdall_obs.Metrics.to_prometheus obs.metrics);
+        close_out oc;
+        Printf.printf "wrote Prometheus exposition to %s\n" path
   in
   Cmd.v
     (Cmd.info "obs"
@@ -235,12 +265,19 @@ let obs_cmd =
           print the span tree, structured events and metrics")
     Term.(
       const run $ network_arg $ issue_opt_arg $ trace_out_arg $ metrics_flag $ domains_arg
-      $ dp_cache_arg)
+      $ dp_cache_arg $ prometheus_out_arg)
 
 (* ---------------- ticket ---------------- *)
 
 let ticket_cmd =
-  let run ({ Experiments.net; policies; _ } as sc) issue_name trace_out metrics =
+  let events_out_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "events-out" ] ~docv:"FILE"
+          ~doc:"Write the run's structured events to $(docv) as JSON lines.")
+  in
+  let run ({ Experiments.net; policies; _ } as sc) issue_name trace_out metrics events_out =
     match find_issue sc issue_name with
     | Error m ->
         prerr_endline m;
@@ -250,7 +287,8 @@ let ticket_cmd =
         let current = Heimdall_msp.Workflow.run_current ~production:net ~issue in
         print_string (Heimdall_msp.Workflow.run_to_string current);
         let obs =
-          if trace_out <> None || metrics then Some (Heimdall_obs.Obs.create ())
+          if trace_out <> None || metrics || events_out <> None then
+            Some (Heimdall_obs.Obs.create ())
           else None
         in
         let heimdall =
@@ -259,11 +297,190 @@ let ticket_cmd =
         print_string (Heimdall_msp.Workflow.run_to_string heimdall);
         Printf.printf "Heimdall overhead: +%.1f s\n"
           (Heimdall_msp.Workflow.total_s heimdall -. Heimdall_msp.Workflow.total_s current);
+        (match (events_out, obs) with
+        | Some path, Some o ->
+            let sink = Heimdall_obs.Sink.file path in
+            let events = Heimdall_obs.Events.events o.events in
+            Heimdall_obs.Events.emit sink events;
+            Heimdall_obs.Sink.close sink;
+            Printf.printf "wrote %d events to %s\n" (List.length events) path
+        | _ -> ());
         Option.iter (fun o -> dump_obs ?trace_out ~metrics o) obs
   in
   Cmd.v
     (Cmd.info "ticket" ~doc:"Run an issue through both workflows")
-    Term.(const run $ network_arg $ issue_arg 1 $ trace_out_arg $ metrics_flag)
+    Term.(
+      const run $ network_arg $ issue_arg 1 $ trace_out_arg $ metrics_flag
+      $ events_out_arg)
+
+(* ---------------- serve (the Watchtower) ---------------- *)
+
+let serve_cmd =
+  let port_arg =
+    Arg.(
+      value & opt int 9464
+      & info [ "port" ] ~docv:"PORT"
+          ~doc:"TCP port for the exporter (0 = kernel-assigned).")
+  in
+  let interval_arg =
+    Arg.(
+      value & opt float 5.0
+      & info [ "interval" ] ~docv:"SECONDS"
+          ~doc:"Drift-monitor check interval.")
+  in
+  let once_flag =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:
+            "CI mode: replay the scenario's issues, run three drift cycles \
+             (clean, injected drift, clear), self-scrape every endpoint and \
+             exit — non-zero when a required series or drift transition is \
+             missing.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:"Engine domain pool (default: auto).")
+  in
+  (* The series the /metrics page must carry after a replay + drift
+     cycle — the contract [make serve-smoke] holds the exporter to. *)
+  let required_series =
+    [
+      "session_commands";
+      "policy_checked";
+      "workflow_runs";
+      "enforcer_sessions";
+      "engine_phase_s";
+      "drift_checks";
+      "drift_active";
+      "exporter_requests";
+      "runtime_gc_heap_words";
+    ]
+  in
+  let contains hay needle =
+    let n = String.length needle and m = String.length hay in
+    let rec at i = i + n <= m && (String.sub hay i n = needle || at (i + 1)) in
+    at 0
+  in
+  let run (sc : Experiments.scenario) port interval once domains cache_dir =
+    let obs = Heimdall_obs.Obs.create () in
+    let scoped =
+      Heimdall_obs.Obs.scoped obs [ ("scenario", sc.Experiments.scenario_name) ]
+    in
+    let engine = Heimdall_verify.Engine.create ?domains ~obs:scoped ?cache_dir () in
+    replay_issues ~engine ~obs:scoped ~sc sc.Experiments.issues;
+    (* The monitor watches an observed-network cell; in a real deployment
+       the thunk would poll devices, here it reads the cell that --once
+       (or a chaos driver) perturbs. *)
+    let observed = ref sc.Experiments.net in
+    let monitor =
+      Heimdall_msp.Monitor.create ~engine ~obs:scoped ~expected:sc.Experiments.net
+        ~observe:(fun () -> !observed)
+        sc.Experiments.policies
+    in
+    let runtime = Heimdall_obs.Runtime.create obs in
+    Heimdall_obs.Runtime.add_sampler runtime
+      (Heimdall_verify.Engine.runtime_sampler engine);
+    let exporter =
+      match
+        Heimdall_obs.Exporter.create ~port
+          ~health:(Heimdall_msp.Monitor.health monitor)
+          obs
+      with
+      | Ok e -> e
+      | Error m ->
+          prerr_endline ("heimdall serve: " ^ m);
+          exit 1
+    in
+    let shutdown () =
+      Heimdall_obs.Exporter.stop exporter;
+      Heimdall_msp.Monitor.stop monitor;
+      Heimdall_obs.Runtime.stop runtime;
+      Heimdall_verify.Engine.shutdown engine
+    in
+    if once then begin
+      Heimdall_obs.Runtime.sample runtime;
+      (* Three drift cycles: baseline, injected config drift, restore.
+         The transitions double as a self-test of the monitor. *)
+      let clean = Heimdall_msp.Monitor.check monitor in
+      let issue = List.hd sc.Experiments.issues in
+      observed := issue.Heimdall_msp.Issue.inject sc.Experiments.net;
+      let detected = Heimdall_msp.Monitor.check monitor in
+      observed := sc.Experiments.net;
+      let cleared = Heimdall_msp.Monitor.check monitor in
+      Printf.printf "drift cycles: %s -> %s -> %s (injected %s)\n" clean detected
+        cleared issue.Heimdall_msp.Issue.name;
+      let failures = ref [] in
+      let fail m = failures := m :: !failures in
+      if (clean, detected, cleared) <> ("clean", "detected", "clear") then
+        fail "drift monitor did not report clean -> detected -> clear";
+      (match
+         Heimdall_enforcer.Audit.verify (Heimdall_msp.Monitor.audit monitor)
+       with
+      | Ok () -> ()
+      | Error m -> fail ("monitor audit chain broken: " ^ m));
+      Heimdall_obs.Exporter.start exporter;
+      let actual_port = Heimdall_obs.Exporter.port exporter in
+      (match Heimdall_obs.Exporter.get ~port:actual_port "/metrics" with
+      | Error m -> fail ("scrape /metrics: " ^ m)
+      | Ok (code, body) ->
+          if code <> 200 then fail (Printf.sprintf "/metrics returned %d" code);
+          List.iter
+            (fun series ->
+              if not (contains body series) then
+                fail (Printf.sprintf "/metrics is missing series %s" series))
+            required_series);
+      (match Heimdall_obs.Exporter.get ~port:actual_port "/healthz" with
+      | Error m -> fail ("scrape /healthz: " ^ m)
+      | Ok (code, body) ->
+          if code <> 200 then
+            fail (Printf.sprintf "/healthz returned %d: %s" code body));
+      List.iter
+        (fun path ->
+          match Heimdall_obs.Exporter.get ~port:actual_port path with
+          | Ok (200, _) -> ()
+          | Ok (code, _) -> fail (Printf.sprintf "%s returned %d" path code)
+          | Error m -> fail (Printf.sprintf "scrape %s: %s" path m))
+        [ "/metrics.json"; "/spans"; "/events" ];
+      shutdown ();
+      match List.rev !failures with
+      | [] ->
+          Printf.printf
+            "serve --once: all endpoints up, %d required series present, \
+             drift transitions ok\n"
+            (List.length required_series)
+      | failures ->
+          List.iter (fun m -> prerr_endline ("serve --once: FAIL — " ^ m)) failures;
+          exit 1
+    end
+    else begin
+      Heimdall_obs.Runtime.start runtime;
+      Heimdall_msp.Monitor.start ~interval_s:interval monitor;
+      Heimdall_obs.Exporter.start exporter;
+      Printf.printf
+        "watchtower serving on http://127.0.0.1:%d (endpoints: /metrics, \
+         /metrics.json, /healthz, /spans, /events); drift check every %gs; \
+         Ctrl-C to stop\n\
+         %!"
+        (Heimdall_obs.Exporter.port exporter)
+        interval;
+      while true do
+        Thread.delay 3600.0
+      done
+    end
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "The Watchtower: replay a scenario into a live metrics registry, then \
+          serve /metrics, /metrics.json, /healthz, /spans and /events over HTTP \
+          while a drift monitor re-verifies the network on every digest change")
+    Term.(
+      const run $ network_arg $ port_arg $ interval_arg $ once_flag $ domains_arg
+      $ dp_cache_arg)
 
 (* ---------------- privilege ---------------- *)
 
@@ -1037,5 +1254,6 @@ let () =
             shell_cmd;
             audit_cmd;
             obs_cmd;
+            serve_cmd;
             chaos_cmd;
           ]))

@@ -70,7 +70,7 @@ let session_acl_diffs emulation =
         names)
     (Heimdall_control.Network.node_names after)
 
-let process ?(enclave = default_enclave) ?engine ?obs ?injector ?max_attempts
+let process_unlabeled ?(enclave = default_enclave) ?engine ?obs ?injector ?max_attempts
     ?(in_flight = []) ~production ~policies ~privilege ~session () =
   let obs =
     match obs with Some _ -> obs | None -> Option.bind engine Engine.obs
@@ -335,6 +335,28 @@ let process ?(enclave = default_enclave) ?engine ?obs ?injector ?max_attempts
           report = Enclave.attest enclave ~report_data:head;
           sealed_head = Enclave.seal enclave head;
         }
+
+(* One labeled counter per processed session, bucketed by how it ended —
+   what the Watchtower's /metrics page breaks enforcer traffic down by. *)
+let process ?enclave ?engine ?obs ?injector ?max_attempts ?in_flight ~production
+    ~policies ~privilege ~session () =
+  let outcome =
+    process_unlabeled ?enclave ?engine ?obs ?injector ?max_attempts ?in_flight
+      ~production ~policies ~privilege ~session ()
+  in
+  let obs =
+    match obs with Some _ -> obs | None -> Option.bind engine Engine.obs
+  in
+  let verdict =
+    if not outcome.approved then
+      if outcome.conflicts <> [] then "held" else "rejected"
+    else
+      match outcome.apply with
+      | Some a when not a.Applier.committed -> "rolled_back"
+      | _ -> "approved"
+  in
+  Heimdall_obs.Obs.incr obs "enforcer.sessions" ~labels:[ ("verdict", verdict) ];
+  outcome
 
 let outcome_to_string o =
   let buf = Buffer.create 256 in

@@ -29,7 +29,8 @@ let record t fault ~step ~node =
   then ()
   else begin
   t.fired <- { fault; step; node } :: t.fired;
-  Heimdall_obs.Obs.incr t.obs "fault.injected";
+  Heimdall_obs.Obs.incr t.obs "fault.injected"
+    ~labels:[ ("kind", Fault.kind_name fault.Fault.kind) ];
   Heimdall_obs.Obs.event t.obs "fault.injected"
     ~attrs:
       [

@@ -197,4 +197,10 @@ let run_heimdall ?(strategy = Slicer.Task) ?engine ?obs ?(in_flight = [])
       in
       Heimdall_obs.Obs.add_attr obs "resolved" (string_of_bool run.resolved);
       Heimdall_obs.Obs.add_attr obs "denied" (string_of_int run.denied);
+      Heimdall_obs.Obs.incr obs "workflow.runs"
+        ~labels:
+          [
+            ("issue", issue.name);
+            ("resolved", string_of_bool run.resolved);
+          ];
       run)

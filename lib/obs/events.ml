@@ -1,22 +1,46 @@
 type event = { seq : int; kind : string; attrs : (string * string) list }
 
-type t = { lock : Mutex.t; mutable entries : event list; mutable count : int }
+let default_cap = 8192
 
-let create () = { lock = Mutex.create (); entries = []; count = 0 }
+(* A capped ring: the newest [cap] events are kept, older ones are
+   dropped (counted).  [count] keeps the global sequence number growing
+   past drops, so consumers can detect gaps. *)
+type t = {
+  lock : Mutex.t;
+  ring : event Queue.t;
+  cap : int;
+  mutable count : int;
+  mutable dropped : int;
+}
+
+let create ?(cap = default_cap) () =
+  {
+    lock = Mutex.create ();
+    ring = Queue.create ();
+    cap = max 1 cap;
+    count = 0;
+    dropped = 0;
+  }
 
 let record t ?(attrs = []) kind =
   Mutex.lock t.lock;
   t.count <- t.count + 1;
-  t.entries <- { seq = t.count; kind; attrs } :: t.entries;
+  if Queue.length t.ring >= t.cap then begin
+    ignore (Queue.pop t.ring);
+    t.dropped <- t.dropped + 1
+  end;
+  Queue.push { seq = t.count; kind; attrs } t.ring;
   Mutex.unlock t.lock
 
 let events t =
   Mutex.lock t.lock;
-  let es = List.rev t.entries in
+  let es = List.of_seq (Queue.to_seq t.ring) in
   Mutex.unlock t.lock;
   es
 
 let length t = t.count
+let dropped t = t.dropped
+let cap t = t.cap
 
 module Json = Heimdall_json.Json
 

@@ -4,7 +4,13 @@
     events record individual {e facts} — a policy verdict, a privilege
     denial, a lint delta, a schedule decision — as machine-readable
     records with a global sequence number.  Safe to record from any
-    domain; the sequence order is the lock-acquisition order. *)
+    domain; the sequence order is the lock-acquisition order.
+
+    The log is a {e capped ring}: only the newest [cap] events are kept
+    in memory (default {!default_cap}), so a long-running exporter loop
+    cannot leak.  Sequence numbers keep growing past drops — a gap in
+    [seq] tells a consumer the ring wrapped — and {!dropped} counts what
+    was lost. *)
 
 type event = {
   seq : int;  (** 1-based, in recording order. *)
@@ -14,14 +20,24 @@ type event = {
 
 type t
 
-val create : unit -> t
+val default_cap : int
+
+val create : ?cap:int -> unit -> t
+(** [cap] (default {!default_cap}, clamped to ≥ 1) bounds the events
+    kept in memory. *)
 
 val record : t -> ?attrs:(string * string) list -> string -> unit
 
 val events : t -> event list
-(** Oldest first. *)
+(** The retained tail, oldest first. *)
 
 val length : t -> int
+(** Total events ever recorded (not just retained). *)
+
+val dropped : t -> int
+(** Events evicted from the ring so far. *)
+
+val cap : t -> int
 
 val event_to_json : event -> Heimdall_json.Json.t
 val to_json : t -> Heimdall_json.Json.t

@@ -1,7 +1,17 @@
 type t = { tracer : Tracer.t; metrics : Metrics.t; events : Events.t }
 
-let create () =
-  { tracer = Tracer.create (); metrics = Metrics.create (); events = Events.create () }
+let create ?span_cap ?event_cap () =
+  {
+    tracer = Tracer.create ?cap:span_cap ();
+    metrics = Metrics.create ();
+    events = Events.create ?cap:event_cap ();
+  }
+
+(* A scoped view shares the tracer and the event ring but stamps the
+   base labels onto every metric update — how the CLI labels a whole
+   run by scenario and session without threading labels through every
+   instrumented call site. *)
+let scoped o labels = { o with metrics = Metrics.scoped o.metrics labels }
 
 let span obs ?parent ?attrs name f =
   match obs with
@@ -11,14 +21,14 @@ let span obs ?parent ?attrs name f =
 let add_attr obs k v =
   match obs with None -> () | Some o -> Tracer.add_attr o.tracer k v
 
-let incr obs ?by name =
-  match obs with None -> () | Some o -> Metrics.incr o.metrics ?by name
+let incr obs ?by ?labels name =
+  match obs with None -> () | Some o -> Metrics.incr o.metrics ?by ?labels name
 
-let set_gauge obs name v =
-  match obs with None -> () | Some o -> Metrics.set_gauge o.metrics name v
+let set_gauge obs ?labels name v =
+  match obs with None -> () | Some o -> Metrics.set_gauge o.metrics ?labels name v
 
-let observe obs name v =
-  match obs with None -> () | Some o -> Metrics.observe o.metrics name v
+let observe obs ?labels name v =
+  match obs with None -> () | Some o -> Metrics.observe o.metrics ?labels name v
 
 let event obs ?attrs kind =
   match obs with None -> () | Some o -> Events.record o.events ?attrs kind

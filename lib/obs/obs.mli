@@ -15,7 +15,15 @@ type t = {
   events : Events.t;
 }
 
-val create : unit -> t
+val create : ?span_cap:int -> ?event_cap:int -> unit -> t
+(** The caps bound the tracer's per-domain finished-span buffers and the
+    event ring (see {!Tracer.create} and {!Events.create}) — what keeps
+    a long-running exporter loop from leaking. *)
+
+val scoped : t -> (string * string) list -> t
+(** A view sharing this context's tracer and event ring whose metric
+    updates all carry the given base labels ({!Metrics.scoped}) — e.g.
+    [scoped obs [("scenario", "enterprise")]]. *)
 
 (** {1 Option-taking instrumentation helpers} *)
 
@@ -25,9 +33,9 @@ val span :
 (** {!Tracer.with_span} when present, plain [f ()] when absent. *)
 
 val add_attr : t option -> string -> string -> unit
-val incr : t option -> ?by:int -> string -> unit
-val set_gauge : t option -> string -> float -> unit
-val observe : t option -> string -> float -> unit
+val incr : t option -> ?by:int -> ?labels:(string * string) list -> string -> unit
+val set_gauge : t option -> ?labels:(string * string) list -> string -> float -> unit
+val observe : t option -> ?labels:(string * string) list -> string -> float -> unit
 val event : t option -> ?attrs:(string * string) list -> string -> unit
 
 val current : t option -> int option

@@ -1,0 +1,89 @@
+(* The runtime sampler: a ticking background thread that folds process
+   health into the same metrics registry the exporter serves.  Each tick
+   writes GC gauges, the obs context's own buffer-pressure gauges
+   (event/span drops), and whatever extra samplers callers registered —
+   e.g. the verify engine's cache hit rates.  Sampling only reads, so it
+   can never perturb verdicts. *)
+
+type sampler = unit -> (string * float) list
+
+type t = {
+  obs : Obs.t;
+  interval_s : float;
+  lock : Mutex.t;
+  mutable samplers : sampler list;
+  stopped : bool Atomic.t;
+  mutable thread : Thread.t option;
+}
+
+let create ?(interval_s = 1.0) obs =
+  {
+    obs;
+    interval_s = Float.max 0.05 interval_s;
+    lock = Mutex.create ();
+    samplers = [];
+    stopped = Atomic.make false;
+    thread = None;
+  }
+
+let add_sampler t f =
+  Mutex.lock t.lock;
+  t.samplers <- t.samplers @ [ f ];
+  Mutex.unlock t.lock
+
+let gc_gauges () =
+  let s = Gc.quick_stat () in
+  [
+    ("runtime.gc.heap_words", float_of_int s.Gc.heap_words);
+    ("runtime.gc.minor_words", s.Gc.minor_words);
+    ("runtime.gc.minor_collections", float_of_int s.Gc.minor_collections);
+    ("runtime.gc.major_collections", float_of_int s.Gc.major_collections);
+    ("runtime.gc.compactions", float_of_int s.Gc.compactions);
+  ]
+
+let self_gauges t =
+  [
+    ("obs.events.length", float_of_int (Events.length t.obs.Obs.events));
+    ("obs.events.dropped", float_of_int (Events.dropped t.obs.Obs.events));
+    ("obs.spans.dropped", float_of_int (Tracer.dropped t.obs.Obs.tracer));
+  ]
+
+let sample t =
+  let extra =
+    Mutex.lock t.lock;
+    let samplers = t.samplers in
+    Mutex.unlock t.lock;
+    List.concat_map (fun f -> try f () with _ -> []) samplers
+  in
+  List.iter
+    (fun (name, v) -> Metrics.set_gauge t.obs.Obs.metrics name v)
+    (gc_gauges () @ self_gauges t @ extra)
+
+(* Sleep in small chunks so [stop] is responsive even with long
+   intervals. *)
+let rec nap t remaining =
+  if remaining > 0. && not (Atomic.get t.stopped) then begin
+    Thread.delay (Float.min 0.05 remaining);
+    nap t (remaining -. 0.05)
+  end
+
+let loop t =
+  while not (Atomic.get t.stopped) do
+    sample t;
+    nap t t.interval_s
+  done
+
+let start t =
+  match t.thread with
+  | Some _ -> ()
+  | None ->
+      Atomic.set t.stopped false;
+      t.thread <- Some (Thread.create loop t)
+
+let stop t =
+  Atomic.set t.stopped true;
+  match t.thread with
+  | Some th ->
+      Thread.join th;
+      t.thread <- None
+  | None -> ()

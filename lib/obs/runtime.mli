@@ -1,0 +1,39 @@
+(** The runtime sampler: a background thread that periodically folds
+    process-health gauges into an {!Obs.t}'s metrics registry, so the
+    exporter's [/metrics] page reflects the live process and not just
+    the instrumented pipeline.
+
+    Each tick writes:
+    - GC gauges from [Gc.quick_stat]: [runtime.gc.heap_words],
+      [runtime.gc.minor_words], [runtime.gc.minor_collections],
+      [runtime.gc.major_collections], [runtime.gc.compactions];
+    - the context's own buffer pressure: [obs.events.length],
+      [obs.events.dropped], [obs.spans.dropped];
+    - every registered {!sampler}'s [(gauge name, value)] pairs — e.g.
+      [Heimdall_verify.Engine.runtime_sampler] for pool and cache-hit
+      gauges.
+
+    Sampling only reads the sampled systems, so it cannot perturb
+    verdicts.  A sampler that raises is skipped for that tick. *)
+
+type t
+
+type sampler = unit -> (string * float) list
+
+val create : ?interval_s:float -> Obs.t -> t
+(** [interval_s] (default 1.0, clamped to ≥ 0.05) is the tick period
+    once {!start}ed. *)
+
+val add_sampler : t -> sampler -> unit
+(** Append a sampler; run in registration order on every tick. *)
+
+val sample : t -> unit
+(** One synchronous tick — what [serve --once] and tests use instead of
+    the background thread. *)
+
+val start : t -> unit
+(** Spawn the ticking thread (first tick immediately).  Idempotent. *)
+
+val stop : t -> unit
+(** Stop and join the ticking thread.  Idempotent; safe without
+    {!start}. *)

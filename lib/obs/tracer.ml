@@ -17,22 +17,34 @@ type frame = {
 
 (* One buffer per domain: only its own domain ever mutates it, so the
    tracer lock is held just long enough to look the buffer up. *)
-type buf = { mutable finished : span list; mutable stack : frame list }
+type buf = {
+  mutable finished : span list;  (* newest first *)
+  mutable finished_len : int;
+  mutable stack : frame list;
+}
+
+let default_cap = 4096
 
 type t = {
   epoch : float;
   next_id : int Atomic.t;
   lock : Mutex.t;
   bufs : (int, buf) Hashtbl.t;  (* domain id -> buffer *)
+  cap : int;  (* finished spans retained per domain buffer *)
+  dropped_spans : int Atomic.t;
 }
 
-let create () =
+let create ?(cap = default_cap) () =
   {
     epoch = Clock.now_s ();
     next_id = Atomic.make 1;
     lock = Mutex.create ();
     bufs = Hashtbl.create 8;
+    cap = max 1 cap;
+    dropped_spans = Atomic.make 0;
   }
+
+let dropped t = Atomic.get t.dropped_spans
 
 let locked t f =
   Mutex.lock t.lock;
@@ -44,9 +56,27 @@ let buf_of t =
       match Hashtbl.find_opt t.bufs d with
       | Some b -> b
       | None ->
-          let b = { finished = []; stack = [] } in
+          let b = { finished = []; finished_len = 0; stack = [] } in
           Hashtbl.replace t.bufs d b;
           b)
+
+(* Amortized cap: let the newest-first list grow to 2·cap, then cut it
+   back to the newest cap — O(cap) once per cap finishes, O(1)
+   amortized.  The buffer therefore retains between cap and 2·cap
+   finished spans; everything older is dropped and counted. *)
+let push_finished t b s =
+  b.finished <- s :: b.finished;
+  b.finished_len <- b.finished_len + 1;
+  if b.finished_len >= 2 * t.cap then begin
+    let keep = ref [] and n = ref 0 in
+    List.iteri
+      (fun i s -> if i < t.cap then (incr n; keep := s :: !keep))
+      b.finished;
+    let dropped = b.finished_len - !n in
+    b.finished <- List.rev !keep;
+    b.finished_len <- !n;
+    ignore (Atomic.fetch_and_add t.dropped_spans dropped)
+  end
 
 let current t = match (buf_of t).stack with [] -> None | f :: _ -> Some f.fid
 
@@ -82,7 +112,7 @@ let with_span t ?parent ?(attrs = []) name f =
       let duration_s = Clock.clamp (Clock.now_s () -. fr.t0) in
       (* Pop even if an inner span leaked (exception unwound past it). *)
       b.stack <- List.filter (fun fr' -> fr' != fr && fr'.fid < fr.fid) b.stack;
-      b.finished <-
+      push_finished t b
         {
           id = fr.fid;
           parent = fr.fparent;
@@ -90,8 +120,7 @@ let with_span t ?parent ?(attrs = []) name f =
           start_s = Clock.clamp (fr.t0 -. t.epoch);
           duration_s;
           attrs = List.rev fr.fattrs;
-        }
-        :: b.finished)
+        })
     f
 
 let flush t =
@@ -101,8 +130,18 @@ let flush t =
           (fun _ b acc ->
             let s = b.finished in
             b.finished <- [];
+            b.finished_len <- 0;
             List.rev_append s acc)
           t.bufs [])
+  in
+  List.sort (fun a b -> compare a.id b.id) spans
+
+(* Non-destructive snapshot: what a live exporter endpoint serves
+   without stealing the spans from a later [flush]. *)
+let recent t =
+  let spans =
+    locked t (fun () ->
+        Hashtbl.fold (fun _ b acc -> List.rev_append b.finished acc) t.bufs [])
   in
   List.sort (fun a b -> compare a.id b.id) spans
 

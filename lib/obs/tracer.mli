@@ -27,7 +27,17 @@ type span = {
 
 type t
 
-val create : unit -> t
+val default_cap : int
+
+val create : ?cap:int -> unit -> t
+(** [cap] (default {!default_cap}, clamped to ≥ 1) bounds the finished
+    spans retained {e per domain buffer} between flushes: each buffer
+    keeps at least the newest [cap] and at most [2·cap] spans, dropping
+    (and counting) older ones — so a long-running server that never
+    flushes cannot leak. *)
+
+val dropped : t -> int
+(** Finished spans evicted by the cap so far, across all domains. *)
 
 val with_span :
   t -> ?parent:int -> ?attrs:(string * string) list -> string -> (unit -> 'a) -> 'a
@@ -49,6 +59,11 @@ val root : t -> int option
 val flush : t -> span list
 (** Merge and clear every domain's finished-span buffer.  Sorted by id
     (creation order); still-open spans stay open and are not returned. *)
+
+val recent : t -> span list
+(** Like {!flush} but non-destructive: a snapshot of every retained
+    finished span, id-ordered — what a live [/spans] endpoint serves
+    without stealing them from a later [flush]. *)
 
 val span_to_json : span -> Heimdall_json.Json.t
 val span_of_json : Heimdall_json.Json.t -> span option

@@ -56,7 +56,8 @@ let record t ~node ~command ~action verdict =
   t.entries <-
     { seq = t.seq; technician = t.technician; node; command; action; verdict }
     :: t.entries;
-  Heimdall_obs.Obs.incr t.obs "session.commands";
+  Heimdall_obs.Obs.incr t.obs "session.commands"
+    ~labels:[ ("verdict", if verdict = Denied then "denied" else "allowed") ];
   if verdict = Denied then Heimdall_obs.Obs.incr t.obs "session.denied"
 
 let escalate t predicate =

@@ -460,7 +460,7 @@ let phase t name f =
             (if List.mem_assoc name t.phases then
                List.map (fun (n, s) -> if n = name then (n, s +. dt) else (n, s)) t.phases
              else (name, dt) :: t.phases));
-      Heimdall_obs.Obs.observe t.obs ("engine.phase_s." ^ name) dt;
+      Heimdall_obs.Obs.observe t.obs "engine.phase_s" ~labels:[ ("phase", name) ] dt;
       v)
 
 type stats = {
@@ -508,6 +508,21 @@ let trace_hit_rate s =
   let total = s.trace_cache_hits + s.trace_coalesced + s.traces_run in
   if total = 0 then 0.0
   else float_of_int (s.trace_cache_hits + s.trace_coalesced) /. float_of_int total
+
+let runtime_sampler t () =
+  let s = stats t in
+  let dp_answered = s.dataplane_cache_hits + s.dataplane_persistent_hits in
+  let dp_total = s.dataplanes_built + dp_answered in
+  let dp_rate =
+    if dp_total = 0 then 0.0 else float_of_int dp_answered /. float_of_int dp_total
+  in
+  [
+    ("engine.domains", float_of_int t.domains);
+    ("engine.domains_used", float_of_int s.domains_used);
+    ("engine.trace.hit_rate", trace_hit_rate s);
+    ("engine.dataplane.cache_hit_rate", dp_rate);
+    ("engine.spawn_fallbacks", float_of_int s.spawn_fallbacks);
+  ]
 
 let stats_to_json s =
   let open Heimdall_json in

@@ -133,7 +133,7 @@ val phase : t -> string -> (unit -> 'a) -> 'a
 (** [phase t name f] runs [f] and adds its wall-clock seconds (measured
     via {!Heimdall_obs.Clock.elapsed}, so clamped at zero) to the [name]
     bucket of {!stats}; with an [?obs] context it is also a tracer span
-    and an [engine.phase_s.<name>] histogram sample. *)
+    and an [engine.phase_s{phase="<name>"}] histogram sample. *)
 
 (** {1 Observability} *)
 
@@ -172,3 +172,11 @@ val stats_to_json : stats -> Heimdall_json.Json.t
 
 val render_stats : stats -> string
 (** Multi-line human-readable form, printed by [bench/main.exe]. *)
+
+val runtime_sampler : t -> unit -> (string * float) list
+(** A {!Heimdall_obs.Runtime.sampler} over this engine: gauges
+    [engine.domains], [engine.domains_used], [engine.trace.hit_rate],
+    [engine.dataplane.cache_hit_rate] (digest + persistent hits over all
+    dataplane requests), and [engine.spawn_fallbacks].  Register it with
+    [Runtime.add_sampler] so the exporter's [/metrics] page tracks the
+    engine live. *)

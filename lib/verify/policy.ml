@@ -114,8 +114,13 @@ let check_all ?engine ?obs dp policies =
       in
       Heimdall_obs.Obs.add_attr obs "violations"
         (string_of_int (List.length violations));
-      Heimdall_obs.Obs.incr obs ~by:(List.length policies) "policy.checked";
-      Heimdall_obs.Obs.incr obs ~by:(List.length violations) "policy.violations";
+      let violated = List.length violations in
+      Heimdall_obs.Obs.incr obs
+        ~by:(List.length policies - violated)
+        ~labels:[ ("verdict", "holds") ] "policy.checked";
+      Heimdall_obs.Obs.incr obs ~by:violated ~labels:[ ("verdict", "violated") ]
+        "policy.checked";
+      Heimdall_obs.Obs.incr obs ~by:violated "policy.violations";
       { total = List.length policies; violations })
 
 let holds_all ?engine ?obs dp policies = (check_all ?engine ?obs dp policies).violations = []

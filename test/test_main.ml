@@ -13,6 +13,7 @@ let () =
       ("sem", Test_sem.suite);
       ("plan", Test_plan.suite);
       ("obs", Test_obs.suite);
+      ("watchtower", Test_watchtower.suite);
       ("twin", Test_twin.suite);
       ("enforcer", Test_enforcer.suite);
       ("faults", Test_faults.suite);
