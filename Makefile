@@ -1,7 +1,7 @@
 # CI entry points.  `make check` is what the pipeline runs on every
 # change: a full build plus the tier-1 test suite.
 
-.PHONY: check build test lint analyze-smoke plan-smoke bench bench-smoke chaos-smoke serve-smoke clean
+.PHONY: check build test lint analyze-smoke plan-smoke bench bench-smoke chaos-smoke scale-smoke serve-smoke clean
 
 check: build test
 
@@ -60,6 +60,17 @@ bench-smoke: build
 chaos-smoke: build
 	dune exec bin/heimdall_cli.exe -- chaos enterprise --seed 42
 	dune exec bench/main.exe -- chaos
+
+# Fleet-scale smoke: generate a seeded fat-tree and run the whole
+# lint → twin → verify → schedule → audit pipeline over it.  The CLI
+# exits non-zero on nondeterministic regeneration, lint errors, policy
+# violations, cross-domain verdict drift or an unresolved issue; the
+# `bench scale` section then persists walls, peak RSS and cache stats
+# at three sizes (largest 500+ devices) into bench/report.json.
+scale-smoke: build
+	dune exec bin/heimdall_cli.exe -- scale --shape fat-tree -k 4 --seed 42
+	dune exec bin/heimdall_cli.exe -- scale --spec leaf-spine:spines=4:leaves=8:seed=7 --no-issues
+	dune exec bench/main.exe -- scale
 
 # Watchtower smoke: `serve --once` replays the scenario into the live
 # registry, runs a clean -> injected-drift -> clear monitor cycle, then

@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- fig7 | fig8 | fig9 | engine | lint
                                  | sem | ablation-verify | ablation-slicer
                                  | ablation-audit | containment | chaos
-                                 | obs | micro *)
+                                 | scale | obs | micro *)
 
 open Bechamel
 open Toolkit
@@ -729,6 +729,155 @@ let run_benchmarks () =
   print_newline ()
 
 (* ------------------------------------------------------------------ *)
+(* Fleet scale                                                         *)
+(* ------------------------------------------------------------------ *)
+
+(* Generated fleets at three sizes (largest 500+ devices), each through
+   generation, dataplane, policy check and lint with wall times, peak
+   RSS, engine cache stats, and a 1-vs-N-domain verdict identity check;
+   the two smaller fleets also push an injected issue through the full
+   workflow.  Everything gates: a nondeterministic generator, a policy
+   violation, a lint error or a cross-domain verdict drift fails the
+   bench (and CI). *)
+let report_scale () =
+  let open Heimdall_verify in
+  let open Heimdall_control in
+  print_string "== Fleet scale: generated fleets vs device count ==\n";
+  let n = max 2 (Engine.default_domains ()) in
+  let single_core = Engine.default_domains () < 2 in
+  let all_ok = ref true in
+  let sections =
+    List.map
+      (fun (spec, run_issue) ->
+        let params =
+          match Fleetgen.spec_of_string spec with
+          | Ok p -> p
+          | Error m -> failwith ("bad bench spec " ^ spec ^ ": " ^ m)
+        in
+        let fleet, gen_s =
+          Heimdall_msp.Timing.elapsed (fun () -> Fleetgen.generate params)
+        in
+        let devices = Fleetgen.device_count fleet in
+        let links = Fleetgen.link_count fleet in
+        let deterministic =
+          Network.digest fleet.Fleetgen.net
+          = Network.digest (Fleetgen.generate params).Fleetgen.net
+        in
+        let run domains =
+          let engine = Engine.create ~domains () in
+          let dp, dp_s =
+            Heimdall_msp.Timing.elapsed (fun () ->
+                Engine.dataplane engine fleet.Fleetgen.net)
+          in
+          let report, check_s =
+            Heimdall_msp.Timing.elapsed (fun () ->
+                Policy.check_all ~engine dp fleet.Fleetgen.policies)
+          in
+          let stats = Engine.stats engine in
+          Engine.shutdown engine;
+          (dp_s, check_s, report, stats)
+        in
+        let dp_s1, check_s1, report1, _ = run 1 in
+        let dp_sn, check_sn, reportn, statsn = run n in
+        let fingerprint (r : Policy.report) =
+          ( r.Policy.total,
+            List.map
+              (fun (p, reason) -> (Policy.to_string p, reason))
+              r.Policy.violations )
+        in
+        let verdicts_ok = fingerprint report1 = fingerprint reportn in
+        let findings, lint_s =
+          Heimdall_msp.Timing.elapsed (fun () ->
+              Heimdall_lint.Lint.check_network fleet.Fleetgen.net)
+        in
+        let lint_errors =
+          List.length
+            (List.filter
+               (fun (d : Heimdall_lint.Diagnostic.t) ->
+                 d.severity = Heimdall_lint.Diagnostic.Error)
+               findings)
+        in
+        let workflow_s =
+          if not run_issue then None
+          else
+            let issue = List.hd fleet.Fleetgen.issues in
+            let run, s =
+              Heimdall_msp.Timing.elapsed (fun () ->
+                  Heimdall_msp.Workflow.run_heimdall
+                    ~production:fleet.Fleetgen.net
+                    ~policies:fleet.Fleetgen.policies ~issue ())
+            in
+            if not run.Heimdall_msp.Workflow.resolved then all_ok := false;
+            Some s
+        in
+        let speedup = dp_s1 /. Float.max 1e-9 dp_sn in
+        let rss_kb = Option.value ~default:0 (Fleetgen.peak_rss_kb ()) in
+        let ok =
+          deterministic && verdicts_ok && lint_errors = 0
+          && report1.Policy.violations = []
+        in
+        if not ok then all_ok := false;
+        Printf.printf
+          "%-38s %4d dev %4d links  gen %6.3f s  dp %6.3f s  check %6.3f s  \
+           lint %6.3f s%s\n"
+          spec devices links gen_s dp_s1 check_s1 lint_s
+          (match workflow_s with
+          | Some s -> Printf.sprintf "  workflow %6.3f s" s
+          | None -> "");
+        Printf.printf
+          "  deterministic: %b  verdicts 1=%d domains: %b  violations: %d  \
+           lint errors: %d  dp speedup %.2fx%s  peak RSS %.1f MB\n"
+          deterministic n verdicts_ok
+          (List.length report1.Policy.violations)
+          lint_errors speedup
+          (if single_core then " (single-core host)" else "")
+          (float_of_int rss_kb /. 1024.);
+        let open Heimdall_json in
+        Json.Obj
+          ([
+             ("spec", Json.String spec);
+             ("devices", Json.Int devices);
+             ("links", Json.Int links);
+             ("policies", Json.Int report1.Policy.total);
+             ("wall_s_generate", Json.Float gen_s);
+             ("wall_s_dataplane_1_domain", Json.Float dp_s1);
+             ("wall_s_dataplane_n_domains", Json.Float dp_sn);
+             ("wall_s_check_1_domain", Json.Float check_s1);
+             ("wall_s_check_n_domains", Json.Float check_sn);
+             ("wall_s_lint", Json.Float lint_s);
+             ("dataplane_speedup",
+              if single_core then Json.String "skipped-single-core"
+              else Json.Float speedup);
+             ("deterministic", Json.Bool deterministic);
+             ("verdicts_identical_across_domains", Json.Bool verdicts_ok);
+             ("violations", Json.Int (List.length report1.Policy.violations));
+             ("lint_errors", Json.Int lint_errors);
+             ("peak_rss_kb", Json.Int rss_kb);
+             ("engine_stats_n_domains", Engine.stats_to_json statsn);
+           ]
+          @
+          match workflow_s with
+          | Some s -> [ ("wall_s_workflow_one_issue", Json.Float s) ]
+          | None -> []))
+      [
+        ("fat-tree:k=4", true);
+        ("fat-tree:k=8", true);
+        ("multi-campus:campuses=20:buildings=8", false);
+      ]
+  in
+  Printf.printf "scale gate: %s\n" (if !all_ok then "PASS" else "FAIL");
+  if not !all_ok then gate_failed := true;
+  let open Heimdall_json in
+  persist_report ~key:"scale"
+    (Json.Obj
+       [
+         ("domains", Json.Int n);
+         ("passed", Json.Bool !all_ok);
+         ("sizes", Json.List sections);
+       ]);
+  print_newline ()
+
+(* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
 
@@ -748,6 +897,7 @@ let reports =
     ("containment", report_containment);
     ("campaign", report_campaign);
     ("chaos", report_chaos);
+    ("scale", report_scale);
     ("obs", report_obs);
     ("micro", run_benchmarks);
   ]

@@ -13,6 +13,8 @@
      sweep      the Figure-8/9 feasibility / attack-surface sweep
      experiment print a paper artifact (table1, fig7, fig8, fig9, ...)
      chaos      replay an issue under a seeded fault plan, check recovery
+     scale      generate a fleet-scale network (fat-tree / leaf-spine /
+                multi-campus) and run the whole pipeline over it
      serve      the Watchtower: live metrics/health HTTP exporter plus a
                 continuous drift monitor over a scenario
      shell      interactive technician session (twin or --emergency)
@@ -1116,6 +1118,229 @@ let chaos_cmd =
       const run $ network_arg $ issue_opt_arg $ seed_arg $ max_attempts_arg
       $ trace_out_arg $ metrics_flag $ domains_arg $ dp_cache_arg)
 
+(* ---------------- scale ---------------- *)
+
+(* Fleet-scale end-to-end: generate a seeded fleet, then run the whole
+   lint → twin → verify → schedule → audit pipeline over it, gating on
+   determinism (regenerate + re-verify byte-identical), lint errors,
+   policy violations, unresolved issues and cross-domain-count verdict
+   drift.  Exit non-zero on any failure so CI can use it as a smoke. *)
+let scale_cmd =
+  let shape_arg =
+    Arg.(
+      value
+      & opt string "fat-tree"
+      & info [ "shape" ] ~docv:"SHAPE"
+          ~doc:"Fleet shape: fat-tree, leaf-spine or multi-campus.")
+  in
+  let dim name doc =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ name ] ~docv:"N" ~doc)
+  in
+  let k_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "k"; "arity" ] ~docv:"N" ~doc:"Fat-tree arity (even, 4-32).")
+  in
+  let spines_arg = dim "spines" "Leaf-spine: number of spines." in
+  let leaves_arg = dim "leaves" "Leaf-spine: number of leaves." in
+  let campuses_arg = dim "campuses" "Multi-campus: number of campuses." in
+  let buildings_arg = dim "buildings" "Multi-campus: access routers per campus." in
+  let hosts_arg = dim "hosts" "Hosts attached per edge subnet (default 2)." in
+  let policies_arg = dim "policies" "Closed-form policies per edge subnet (default 2)." in
+  let mode_arg =
+    Arg.(
+      value
+      & opt string "closed"
+      & info [ "policy-mode" ] ~docv:"MODE"
+          ~doc:"Policy source: closed (closed-form intents) or mined (spec miner).")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Issue-placement seed; topology and configs do not depend on it.")
+  in
+  let spec_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "spec" ] ~docv:"SPEC"
+          ~doc:
+            "Full fleet spec (e.g. fat-tree:k=8:seed=7); overrides the \
+             individual shape flags.")
+  in
+  let domains_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Engine domain pool for the N-domain leg of the determinism check \
+             (default: auto, at least 2).")
+  in
+  let skip_issues_flag =
+    Arg.(
+      value & flag
+      & info [ "no-issues" ]
+          ~doc:"Skip the per-issue workflow runs (generation + verification only).")
+  in
+  let run shape k spines leaves campuses buildings hosts policies mode seed spec
+      domains cache_dir skip_issues =
+    let spec =
+      match spec with
+      | Some s -> s
+      | None ->
+          let kv name = function
+            | None -> []
+            | Some v -> [ Printf.sprintf "%s=%d" name v ]
+          in
+          String.concat ":"
+            ((shape :: kv "k" k)
+            @ kv "spines" spines @ kv "leaves" leaves @ kv "campuses" campuses
+            @ kv "buildings" buildings @ kv "hosts" hosts @ kv "policies" policies
+            @ [ "mode=" ^ mode; "seed=" ^ string_of_int seed ])
+    in
+    let params =
+      match Heimdall_scenarios.Fleetgen.spec_of_string spec with
+      | Ok p -> p
+      | Error m ->
+          prerr_endline ("heimdall: bad fleet spec: " ^ m);
+          exit 124
+    in
+    let failed = ref false in
+    let gate name ok =
+      Printf.printf "%-42s %s\n" name (if ok then "ok" else "FAIL");
+      if not ok then failed := true
+    in
+    let open Heimdall_scenarios in
+    let fleet, gen_s =
+      Heimdall_msp.Timing.elapsed (fun () -> Fleetgen.generate params)
+    in
+    Printf.printf "fleet %s\n" fleet.Fleetgen.name;
+    Printf.printf "devices: %d  links: %d  policies: %d  config lines: %d\n"
+      (Fleetgen.device_count fleet) (Fleetgen.link_count fleet)
+      (List.length fleet.Fleetgen.policies)
+      (Network.total_config_lines fleet.Fleetgen.net);
+    Printf.printf "generation: %.3f s\n" gen_s;
+    (* Determinism: a second generation from the same params must agree
+       byte for byte — structural digest, rendered configs, policies. *)
+    let fleet2 = Fleetgen.generate params in
+    let digest f = Digest.to_hex (Network.digest f.Fleetgen.net) in
+    gate "deterministic regeneration (digest)" (digest fleet = digest fleet2);
+    gate "deterministic regeneration (policies)"
+      (List.equal Heimdall_verify.Policy.equal fleet.Fleetgen.policies
+         fleet2.Fleetgen.policies);
+    (match Network.validate fleet.Fleetgen.net with
+    | Ok () -> gate "network validation" true
+    | Error e ->
+        prerr_endline ("  " ^ e);
+        gate "network validation" false);
+    let n_domains =
+      match domains with
+      | Some n -> max 1 n
+      | None -> max 2 (Heimdall_verify.Engine.default_domains ())
+    in
+    let engine1 = Heimdall_verify.Engine.create ~domains:1 ?cache_dir () in
+    let engine_n = Heimdall_verify.Engine.create ~domains:n_domains () in
+    (* Lint: only error-severity findings gate (warnings like a terminal
+       permit-any are part of the generated enterprise idiom). *)
+    let findings, lint_s =
+      Heimdall_msp.Timing.elapsed (fun () ->
+          Heimdall_lint.Lint.check_network ~engine:engine1 fleet.Fleetgen.net)
+    in
+    let errors =
+      List.filter
+        (fun (d : Heimdall_lint.Diagnostic.t) ->
+          d.severity = Heimdall_lint.Diagnostic.Error)
+        findings
+    in
+    List.iter
+      (fun d -> prerr_endline ("  " ^ Heimdall_lint.Diagnostic.to_string d))
+      errors;
+    Printf.printf "lint: %d findings, %d errors (%.3f s)\n" (List.length findings)
+      (List.length errors) lint_s;
+    gate "lint clean (no error severity)" (errors = []);
+    (* Verify every policy on 1 domain and on N domains; the verdicts —
+       not just the counts — must be byte-identical. *)
+    let dp1, dp_s =
+      Heimdall_msp.Timing.elapsed (fun () ->
+          Heimdall_verify.Engine.dataplane engine1 fleet.Fleetgen.net)
+    in
+    let report_fingerprint (r : Heimdall_verify.Policy.report) =
+      (r.total,
+       List.map
+         (fun (p, reason) -> (Heimdall_verify.Policy.to_string p, reason))
+         r.violations)
+    in
+    let report1, check_s =
+      Heimdall_msp.Timing.elapsed (fun () ->
+          Heimdall_verify.Policy.check_all ~engine:engine1 dp1
+            fleet.Fleetgen.policies)
+    in
+    let dp_n = Heimdall_verify.Engine.dataplane engine_n fleet.Fleetgen.net in
+    let report_n =
+      Heimdall_verify.Policy.check_all ~engine:engine_n dp_n
+        fleet.Fleetgen.policies
+    in
+    List.iter
+      (fun (p, reason) ->
+        prerr_endline
+          ("  violated: " ^ Heimdall_verify.Policy.to_string p ^ " — " ^ reason))
+      report1.Heimdall_verify.Policy.violations;
+    Printf.printf "verify: %d policies, %d violations (dataplane %.3f s, check %.3f s)\n"
+      report1.Heimdall_verify.Policy.total
+      (List.length report1.Heimdall_verify.Policy.violations)
+      dp_s check_s;
+    gate "zero policy violations"
+      (report1.Heimdall_verify.Policy.violations = []);
+    gate
+      (Printf.sprintf "verdicts identical at 1 vs %d domains" n_domains)
+      (report_fingerprint report1 = report_fingerprint report_n);
+    (* Every injected issue through the full pipeline: privilege
+       generation, twin session, verify, schedule, apply, audit. *)
+    if not skip_issues then
+      List.iter
+        (fun (issue : Heimdall_msp.Issue.t) ->
+          let run, wf_s =
+            Heimdall_msp.Timing.elapsed (fun () ->
+                Heimdall_msp.Workflow.run_heimdall ~engine:engine_n
+                  ~production:fleet.Fleetgen.net
+                  ~policies:fleet.Fleetgen.policies ~issue ())
+          in
+          Printf.printf "issue %-10s %s, %d denied (%.3f s)\n"
+            issue.Heimdall_msp.Issue.name
+            (if run.Heimdall_msp.Workflow.resolved then "resolved" else "NOT resolved")
+            run.Heimdall_msp.Workflow.denied wf_s;
+          gate
+            (Printf.sprintf "issue %s resolved, nothing denied"
+               issue.Heimdall_msp.Issue.name)
+            (run.Heimdall_msp.Workflow.resolved
+            && run.Heimdall_msp.Workflow.denied = 0))
+        fleet.Fleetgen.issues;
+    Heimdall_verify.Engine.shutdown engine1;
+    Heimdall_verify.Engine.shutdown engine_n;
+    (match Fleetgen.peak_rss_kb () with
+    | Some kb -> Printf.printf "peak RSS: %.1f MB\n" (float_of_int kb /. 1024.)
+    | None -> ());
+    Printf.printf "scale gate: %s\n" (if !failed then "FAIL" else "PASS");
+    if !failed then exit 1
+  in
+  Cmd.v
+    (Cmd.info "scale"
+       ~doc:
+         "Generate a fleet-scale network (fat-tree, leaf-spine or multi-campus) \
+          and run the full lint/verify/schedule/audit pipeline over it, gating \
+          on determinism, lint errors, policy violations and issue resolution; \
+          exit non-zero on any failure")
+    Term.(
+      const run $ shape_arg $ k_arg $ spines_arg $ leaves_arg $ campuses_arg
+      $ buildings_arg $ hosts_arg $ policies_arg $ mode_arg $ seed_arg $ spec_arg
+      $ domains_arg $ dp_cache_arg $ skip_issues_flag)
+
 (* ---------------- shell ---------------- *)
 
 let shell_cmd =
@@ -1256,4 +1481,5 @@ let () =
             obs_cmd;
             serve_cmd;
             chaos_cmd;
+            scale_cmd;
           ]))

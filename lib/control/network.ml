@@ -15,7 +15,7 @@ type t = {
 }
 
 let digest_of_config (cfg : Ast.t) = Digest.string (Marshal.to_string cfg [])
-let digest_of_topology (topo : Topology.t) = Digest.string (Marshal.to_string topo [])
+let digest_of_topology (topo : Topology.t) = Topology.digest topo
 
 let make topo configs =
   let names = Topology.node_names topo in

@@ -25,8 +25,12 @@ type summary = {
   audit : Audit.t;
 }
 
-let network_digest net =
-  Digest.to_hex (Digest.string (Marshal.to_string (net : Network.t) []))
+(* Checkpoint comparison rides the incrementally-maintained structural
+   digest: [Network.digest] composes the cached per-device config digests
+   with the topology digest, so comparing a 500-device network costs one
+   small fold instead of re-marshalling the whole network on every step
+   attempt and retry. *)
+let network_digest net = Digest.to_hex (Network.digest net)
 
 let default_max_attempts = 4
 

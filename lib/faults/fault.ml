@@ -113,25 +113,30 @@ let for_apply ~seed ~network ~steps =
       faults := { kind; stage = Apply; at = pick_step (); duration } :: !faults
     in
     add Partial_apply (pick_duration ());
-    (* A link flap on an infrastructure link (both ends non-host). *)
+    (* A link flap on an infrastructure link (both ends non-host).  The
+       candidates go into a pre-sized array so the seeded pick costs one
+       bounds-checked read instead of two list traversals; the array keeps
+       list order, so draws and picks match the historical plans exactly. *)
     let infra =
-      List.filter
-        (fun (l : Topology.link) ->
-          (not (is_host l.Topology.a.Topology.node))
-          && not (is_host l.Topology.b.Topology.node))
-        (Topology.links topo)
+      Array.of_list
+        (List.filter
+           (fun (l : Topology.link) ->
+             (not (is_host l.Topology.a.Topology.node))
+             && not (is_host l.Topology.b.Topology.node))
+           (Topology.links topo))
     in
-    (match infra with
-    | [] -> ()
-    | ls ->
-        let l = List.nth ls (Random.State.int st (List.length ls)) in
-        let ep = if Random.State.bool st then l.Topology.a else l.Topology.b in
-        add (Link_down ep) (pick_duration ()));
-    (* A crash of a non-host device. *)
-    let devices = List.filter (fun n -> not (is_host n)) (Topology.node_names topo) in
-    (match devices with
-    | [] -> ()
-    | ds -> add (Device_crash (List.nth ds (Random.State.int st (List.length ds)))) 1);
+    if Array.length infra > 0 then begin
+      let l = infra.(Random.State.int st (Array.length infra)) in
+      let ep = if Random.State.bool st then l.Topology.a else l.Topology.b in
+      add (Link_down ep) (pick_duration ())
+    end;
+    (* A crash of a non-host device, picked the same way. *)
+    let devices =
+      Array.of_list
+        (List.filter (fun n -> not (is_host n)) (Topology.node_names topo))
+    in
+    if Array.length devices > 0 then
+      add (Device_crash devices.(Random.State.int st (Array.length devices))) 1;
     add Enclave_restart 1;
     List.stable_sort (fun a b -> compare a.at b.at) (List.rev !faults)
   end

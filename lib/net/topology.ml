@@ -21,9 +21,16 @@ type endpoint = { node : string; iface : string }
 let endpoint_to_string e = Printf.sprintf "%s:%s" e.node e.iface
 
 type link = { a : endpoint; b : endpoint }
-type t = { nodes : node Smap.t; links : link list }
 
-let empty = { nodes = Smap.empty; links = [] }
+(* [by_node] indexes [links] per endpoint node so adjacency queries cost
+   O(degree) instead of O(links).  Invariant: the entry for node [n] holds
+   exactly the links touching [n], in the same relative order as [links]
+   (both are built by prepending in [add_link]); nodes with no links have
+   no entry.  [links] stays the source of truth for whole-topology
+   traversals and for [digest], which must not depend on the index. *)
+type t = { nodes : node Smap.t; links : link list; by_node : link list Smap.t }
+
+let empty = { nodes = Smap.empty; links = []; by_node = Smap.empty }
 
 let add_node name kind t =
   if Smap.mem name t.nodes then
@@ -32,8 +39,42 @@ let add_node name kind t =
 
 let endpoint_equal e1 e2 = e1.node = e2.node && e1.iface = e2.iface
 
+let node_links name t =
+  match Smap.find_opt name t.by_node with None -> [] | Some ls -> ls
+
 let endpoint_wired e t =
-  List.exists (fun l -> endpoint_equal l.a e || endpoint_equal l.b e) t.links
+  List.exists
+    (fun l -> endpoint_equal l.a e || endpoint_equal l.b e)
+    (node_links e.node t)
+
+let index_add l by_node =
+  let prepend node idx =
+    Smap.update node
+      (function None -> Some [ l ] | Some ls -> Some (l :: ls))
+      idx
+  in
+  by_node |> prepend l.a.node |> prepend l.b.node
+
+(* Each interface is wired at most once, so a link is identified by either
+   of its endpoints; structural equality on both endpoints is enough to
+   drop exactly the intended links from the index. *)
+let link_equal l1 l2 = endpoint_equal l1.a l2.a && endpoint_equal l1.b l2.b
+
+let index_remove ls by_node =
+  List.fold_left
+    (fun idx l ->
+      let drop node idx =
+        Smap.update node
+          (function
+            | None -> None
+            | Some links -> (
+                match List.filter (fun l' -> not (link_equal l l')) links with
+                | [] -> None
+                | remaining -> Some remaining))
+          idx
+      in
+      idx |> drop l.a.node |> drop l.b.node)
+    by_node ls
 
 let add_link a b t =
   if not (Smap.mem a.node t.nodes) then
@@ -48,7 +89,8 @@ let add_link a b t =
   if endpoint_wired b t then
     invalid_arg
       (Printf.sprintf "Topology.add_link: %s already wired" (endpoint_to_string b));
-  { t with links = { a; b } :: t.links }
+  let l = { a; b } in
+  { t with links = l :: t.links; by_node = index_add l t.by_node }
 
 let node name t = Smap.find_opt name t.nodes
 let mem_node name t = Smap.mem name t.nodes
@@ -72,14 +114,14 @@ let peer e t =
         else if endpoint_equal l.b e then Some l.a
         else go rest
   in
-  go t.links
+  go (node_links e.node t)
 
 let interfaces_of name t =
   List.concat_map
     (fun l ->
       (if l.a.node = name then [ l.a.iface ] else [])
       @ if l.b.node = name then [ l.b.iface ] else [])
-    t.links
+    (node_links name t)
   |> List.sort String.compare
 
 let neighbors name t =
@@ -87,7 +129,7 @@ let neighbors name t =
     (fun l ->
       (if l.a.node = name then [ l.b.node ] else [])
       @ if l.b.node = name then [ l.a.node ] else [])
-    t.links
+    (node_links name t)
   |> List.sort_uniq String.compare
 
 let degree name t = List.length (interfaces_of name t)
@@ -104,20 +146,31 @@ let to_graph t =
     g t.links
 
 let remove_link e t =
-  { t with links = List.filter (fun l -> not (endpoint_equal l.a e || endpoint_equal l.b e)) t.links }
+  let removed, kept =
+    List.partition (fun l -> endpoint_equal l.a e || endpoint_equal l.b e) t.links
+  in
+  { t with links = kept; by_node = index_remove removed t.by_node }
 
-let links_of name t =
-  List.filter (fun l -> l.a.node = name || l.b.node = name) t.links
+let links_of name t = node_links name t
 
 let link_between n1 n2 t =
   let joins l = (l.a.node = n1 && l.b.node = n2) || (l.a.node = n2 && l.b.node = n1) in
-  List.find_opt joins t.links
+  List.find_opt joins (node_links n1 t)
 
 let remove_node name t =
+  let removed, kept =
+    List.partition (fun l -> l.a.node = name || l.b.node = name) t.links
+  in
   {
     nodes = Smap.remove name t.nodes;
-    links = List.filter (fun l -> l.a.node <> name && l.b.node <> name) t.links;
+    links = kept;
+    by_node = Smap.remove name (index_remove removed t.by_node);
   }
+
+(* Structural digest over the wiring only.  The adjacency index is a
+   derived view whose in-memory shape must never influence digests, so
+   this marshals just the (nodes, links) payload. *)
+let digest t = Digest.string (Marshal.to_string (t.nodes, t.links) [])
 
 let validate t =
   let seen = Hashtbl.create 64 in

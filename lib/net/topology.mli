@@ -73,6 +73,11 @@ val remove_node : string -> t -> t
 (** Drop a node and every link touching it (fault modelling: the device
     vanished).  A no-op on an unknown node. *)
 
+val digest : t -> string
+(** Structural digest of the wiring (nodes and links only).  Two
+    topologies built by the same add/remove sequence digest identically;
+    internal acceleration structures never influence the result. *)
+
 val validate : t -> (unit, string) result
 (** Check structural invariants (each interface wired at most once, link
     endpoints exist).  Well-formed values built through this API always

@@ -39,6 +39,20 @@ let scenario_of_name = function
   | "university" ->
       let net, policies = university () in
       Some { scenario_name = "university"; net; policies; issues = University.issues net }
+  | name when String.length name > 6 && String.sub name 0 6 = "fleet:" -> (
+      (* Generated fleet, e.g. "fleet:fat-tree:k=8:seed=42" — the whole
+         pipeline (lint, analyze, chaos, serve, ...) runs on it unmodified. *)
+      match Fleetgen.spec_of_string name with
+      | Error _ -> None
+      | Ok params ->
+          let fleet = Fleetgen.generate params in
+          Some
+            {
+              scenario_name = fleet.Fleetgen.name;
+              net = fleet.Fleetgen.net;
+              policies = fleet.Fleetgen.policies;
+              issues = fleet.Fleetgen.issues;
+            })
   | _ -> None
 
 (* --------------------------------------------------------------- *)

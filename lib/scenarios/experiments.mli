@@ -132,4 +132,6 @@ type scenario = {
 val scenario_names : string list
 
 val scenario_of_name : string -> scenario option
-(** Cached, like {!enterprise}/{!university}. *)
+(** Cached, like {!enterprise}/{!university}.  Also accepts generated
+    fleet specs (["fleet:fat-tree:k=8:seed=42"], see {!Fleetgen}) —
+    those are rebuilt per call (deterministic, not cached). *)

@@ -1,0 +1,690 @@
+open Heimdall_net
+open Heimdall_config
+open Heimdall_control
+open Heimdall_verify
+open Heimdall_privilege
+open Heimdall_msp
+
+type shape =
+  | Fat_tree of { k : int }
+  | Leaf_spine of { spines : int; leaves : int }
+  | Multi_campus of { campuses : int; buildings : int }
+
+type mode = Closed | Mined
+
+type params = {
+  shape : shape;
+  hosts_per_edge : int;
+  policies_per_edge : int;
+  mode : mode;
+  seed : int;
+}
+
+let default_params shape =
+  { shape; hosts_per_edge = 2; policies_per_edge = 2; mode = Closed; seed = 42 }
+
+let validate_params p =
+  let err fmt = Printf.ksprintf (fun m -> Error m) fmt in
+  if p.hosts_per_edge < 1 || p.hosts_per_edge > 16 then
+    err "hosts_per_edge must be in 1..16 (got %d)" p.hosts_per_edge
+  else if p.policies_per_edge < 0 || p.policies_per_edge > 16 then
+    err "policies_per_edge must be in 0..16 (got %d)" p.policies_per_edge
+  else
+    match p.shape with
+    | Fat_tree { k } ->
+        if k < 4 || k > 32 then err "fat-tree k must be in 4..32 (got %d)" k
+        else if k mod 2 <> 0 then err "fat-tree k must be even (got %d)" k
+        else Ok ()
+    | Leaf_spine { spines; leaves } ->
+        if spines < 1 || spines > 64 then
+          err "spines must be in 1..64 (got %d)" spines
+        else if leaves < 2 || leaves > 255 then
+          err "leaves must be in 2..255 (got %d)" leaves
+        else Ok ()
+    | Multi_campus { campuses; buildings } ->
+        if campuses < 1 || campuses > 200 then
+          err "campuses must be in 1..200 (got %d)" campuses
+        else if buildings < 1 || buildings > 255 then
+          err "buildings must be in 1..255 (got %d)" buildings
+        else if campuses * buildings < 2 then
+          err "a multi-campus fleet needs at least 2 edge subnets"
+        else Ok ()
+
+(* ------------------------------------------------------------------ *)
+(* Spec strings                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let mode_to_string = function Closed -> "closed" | Mined -> "mined"
+
+let shape_fields = function
+  | Fat_tree { k } -> ("fat-tree", [ ("k", k) ])
+  | Leaf_spine { spines; leaves } ->
+      ("leaf-spine", [ ("spines", spines); ("leaves", leaves) ])
+  | Multi_campus { campuses; buildings } ->
+      ("multi-campus", [ ("campuses", campuses); ("buildings", buildings) ])
+
+let spec_to_string p =
+  let shape, fields = shape_fields p.shape in
+  String.concat ":"
+    (shape
+     :: List.map (fun (k, v) -> Printf.sprintf "%s=%d" k v) fields
+    @ [
+        Printf.sprintf "hosts=%d" p.hosts_per_edge;
+        Printf.sprintf "policies=%d" p.policies_per_edge;
+        "mode=" ^ mode_to_string p.mode;
+        Printf.sprintf "seed=%d" p.seed;
+      ])
+
+let spec_of_string s =
+  let s =
+    match String.length s >= 6 && String.sub s 0 6 = "fleet:" with
+    | true -> String.sub s 6 (String.length s - 6)
+    | false -> s
+  in
+  match String.split_on_char ':' s with
+  | [] | [ "" ] -> Error "empty fleet spec"
+  | shape_name :: fields -> (
+      let base =
+        match shape_name with
+        | "fat-tree" -> Ok (Fat_tree { k = 4 })
+        | "leaf-spine" -> Ok (Leaf_spine { spines = 4; leaves = 8 })
+        | "multi-campus" -> Ok (Multi_campus { campuses = 4; buildings = 4 })
+        | other -> Error (Printf.sprintf "unknown fleet shape %S" other)
+      in
+      match base with
+      | Error _ as e -> e
+      | Ok shape -> (
+          let parse acc field =
+            match acc with
+            | Error _ as e -> e
+            | Ok p -> (
+                match String.index_opt field '=' with
+                | None -> Error (Printf.sprintf "malformed field %S" field)
+                | Some i -> (
+                    let key = String.sub field 0 i in
+                    let v = String.sub field (i + 1) (String.length field - i - 1) in
+                    let int_v () =
+                      match int_of_string_opt v with
+                      | Some n -> Ok n
+                      | None -> Error (Printf.sprintf "field %s=%S is not a number" key v)
+                    in
+                    let with_int f = Result.map f (int_v ()) in
+                    match (key, p.shape) with
+                    | "k", Fat_tree _ ->
+                        with_int (fun k -> { p with shape = Fat_tree { k } })
+                    | "spines", Leaf_spine l ->
+                        with_int (fun spines ->
+                            { p with shape = Leaf_spine { l with spines } })
+                    | "leaves", Leaf_spine l ->
+                        with_int (fun leaves ->
+                            { p with shape = Leaf_spine { l with leaves } })
+                    | "campuses", Multi_campus m ->
+                        with_int (fun campuses ->
+                            { p with shape = Multi_campus { m with campuses } })
+                    | "buildings", Multi_campus m ->
+                        with_int (fun buildings ->
+                            { p with shape = Multi_campus { m with buildings } })
+                    | "hosts", _ -> with_int (fun hosts_per_edge -> { p with hosts_per_edge })
+                    | "policies", _ ->
+                        with_int (fun policies_per_edge -> { p with policies_per_edge })
+                    | "seed", _ -> with_int (fun seed -> { p with seed })
+                    | "mode", _ -> (
+                        match v with
+                        | "closed" -> Ok { p with mode = Closed }
+                        | "mined" -> Ok { p with mode = Mined }
+                        | _ -> Error (Printf.sprintf "mode must be closed|mined (got %S)" v))
+                    | _ ->
+                        Error
+                          (Printf.sprintf "field %S does not apply to shape %s" key
+                             shape_name)))
+          in
+          match List.fold_left parse (Ok (default_params shape)) fields with
+          | Error _ as e -> e
+          | Ok p -> (
+              match validate_params p with Ok () -> Ok p | Error m -> Error m)))
+
+(* ------------------------------------------------------------------ *)
+(* Generation                                                          *)
+(* ------------------------------------------------------------------ *)
+
+type edge = {
+  dev : string;
+  subnet : Prefix.t;
+  area : int;
+  peers : string list;
+  hosts : (string * Ipv4.t) list;
+}
+
+type fleet = {
+  name : string;
+  params : params;
+  net : Network.t;
+  policies : Policy.t list;
+  privilege : Privilege.t;
+  issues : Issue.t list;
+  edges : edge list;
+  gateway : string;
+  uplink_addr : Ipv4.t;
+}
+
+let p = Prefix.of_string
+let edge_vlan = 10
+let wrong_vlan = 30
+let acl_name = "AGG_PROT"
+
+(* Edge subnets live in 10.32.0.0/11-ish space (second octet 32+), clear
+   of the builder's 10.200.0.0/16 transit pool. *)
+let edge_subnet ~o2 ~o3 = p (Printf.sprintf "10.%d.%d.0/24" (32 + o2) o3)
+
+(* Attach an edge subnet to a device: SVI in the device's area, a decoy
+   "guests" VLAN (the misconfig injector's wrong VLAN must exist for the
+   change to validate), and the hosts on access ports. *)
+let add_edge b ~dev ~area ~o2 ~o3 ~peers ~hosts_per_edge =
+  let subnet = edge_subnet ~o2 ~o3 in
+  let gw = Prefix.host subnet 1 in
+  Builder.svi ~area b dev edge_vlan
+    (Ifaddr.make gw (Prefix.length subnet));
+  Builder.vlan b dev wrong_vlan "guests";
+  let hosts =
+    List.init hosts_per_edge (fun i ->
+        let hn = Printf.sprintf "h-%s-%d" dev (i + 1) in
+        let addr = Prefix.host subnet (11 + i) in
+        Builder.attach_host b ~host_name:hn ~dev ~vlan:edge_vlan
+          ~addr:(Ifaddr.make addr (Prefix.length subnet))
+          ~gateway:gw;
+        (hn, addr))
+  in
+  { dev; subnet; area; peers; hosts }
+
+(* The per-shape wiring.  Returns the builder (pre-ISP, pre-secrets), the
+   ordered edges, the ISP attachment point, the aggregation-tier devices
+   guarding the first (sensitive) edge, and the privilege tier globs. *)
+type skeleton = {
+  b : Builder.t;
+  sk_edges : edge list;
+  sk_gateway : string;
+  guards : string list;  (** Aggregation devices in front of edge 0. *)
+  routers : string list;  (** All non-host devices, generation order. *)
+  edge_globs : string list;
+  mid_globs : string list;
+}
+
+let fat_tree ~k ~hosts_per_edge =
+  let b = Builder.create () in
+  let half = k / 2 in
+  let cores = List.init (half * half) (fun i -> Printf.sprintf "core-%d" (i + 1)) in
+  List.iter (Builder.router b) cores;
+  let pods = List.init k (fun p -> p) in
+  let aggs =
+    List.concat_map
+      (fun pd -> List.init half (fun j -> Printf.sprintf "agg-p%d-%d" pd j))
+      pods
+  in
+  let edges_names =
+    List.concat_map
+      (fun pd -> List.init half (fun j -> Printf.sprintf "edge-p%d-%d" pd j))
+      pods
+  in
+  List.iter (Builder.router b) aggs;
+  List.iter (Builder.router b) edges_names;
+  (* Core <-> aggregation, area 0: agg j of every pod connects to the
+     j-th group of k/2 cores. *)
+  List.iter
+    (fun pd ->
+      for j = 0 to half - 1 do
+        let agg = Printf.sprintf "agg-p%d-%d" pd j in
+        for c = 0 to half - 1 do
+          ignore
+            (Builder.p2p ~area:0 b agg (Printf.sprintf "core-%d" ((j * half) + c + 1)))
+        done
+      done)
+    pods;
+  (* Aggregation <-> edge, one area per pod. *)
+  List.iter
+    (fun pd ->
+      for j = 0 to half - 1 do
+        for e = 0 to half - 1 do
+          ignore
+            (Builder.p2p ~area:(pd + 1) b
+               (Printf.sprintf "agg-p%d-%d" pd j)
+               (Printf.sprintf "edge-p%d-%d" pd e))
+        done
+      done)
+    pods;
+  let sk_edges =
+    List.concat_map
+      (fun pd ->
+        List.init half (fun e ->
+            add_edge b
+              ~dev:(Printf.sprintf "edge-p%d-%d" pd e)
+              ~area:(pd + 1) ~o2:pd ~o3:e
+              ~peers:(List.init half (fun j -> Printf.sprintf "agg-p%d-%d" pd j))
+              ~hosts_per_edge))
+      pods
+  in
+  {
+    b;
+    sk_edges;
+    sk_gateway = "core-1";
+    guards = List.init half (fun j -> Printf.sprintf "agg-p0-%d" j);
+    routers = cores @ aggs @ edges_names;
+    edge_globs = [ "edge-*" ];
+    mid_globs = [ "agg-*"; "core-*" ];
+  }
+
+let leaf_spine ~spines ~leaves ~hosts_per_edge =
+  let b = Builder.create () in
+  let spine_names = List.init spines (fun i -> Printf.sprintf "spine-%d" (i + 1)) in
+  let leaf_names = List.init leaves (fun i -> Printf.sprintf "leaf-%d" (i + 1)) in
+  List.iter (Builder.router b) spine_names;
+  List.iter (Builder.router b) leaf_names;
+  List.iter
+    (fun leaf -> List.iter (fun spine -> ignore (Builder.p2p ~area:0 b spine leaf)) spine_names)
+    leaf_names;
+  let sk_edges =
+    List.mapi
+      (fun i leaf ->
+        add_edge b ~dev:leaf ~area:0 ~o2:68 ~o3:i ~peers:spine_names ~hosts_per_edge)
+      leaf_names
+  in
+  {
+    b;
+    sk_edges;
+    sk_gateway = "spine-1";
+    guards = spine_names;
+    routers = spine_names @ leaf_names;
+    edge_globs = [ "leaf-*" ];
+    mid_globs = [ "spine-*" ];
+  }
+
+let multi_campus ~campuses ~buildings ~hosts_per_edge =
+  let b = Builder.create () in
+  let wans = [ "wan-1"; "wan-2" ] in
+  List.iter (Builder.router b) wans;
+  let gws = List.init campuses (fun c -> Printf.sprintf "gw-c%d" c) in
+  let accs =
+    List.concat_map
+      (fun c -> List.init buildings (fun bl -> Printf.sprintf "acc-c%d-b%d" c bl))
+      (List.init campuses (fun c -> c))
+  in
+  List.iter (Builder.router b) gws;
+  List.iter (Builder.router b) accs;
+  ignore (Builder.p2p ~area:0 b "wan-1" "wan-2");
+  List.iter
+    (fun gw ->
+      ignore (Builder.p2p ~area:0 b gw "wan-1");
+      ignore (Builder.p2p ~area:0 b gw "wan-2"))
+    gws;
+  List.iteri
+    (fun c gw ->
+      for bl = 0 to buildings - 1 do
+        ignore (Builder.p2p ~area:(c + 1) b gw (Printf.sprintf "acc-c%d-b%d" c bl))
+      done)
+    gws;
+  let sk_edges =
+    List.concat_map
+      (fun c ->
+        List.init buildings (fun bl ->
+            add_edge b
+              ~dev:(Printf.sprintf "acc-c%d-b%d" c bl)
+              ~area:(c + 1) ~o2:c ~o3:bl
+              ~peers:[ Printf.sprintf "gw-c%d" c ]
+              ~hosts_per_edge))
+      (List.init campuses (fun c -> c))
+  in
+  {
+    b;
+    sk_edges;
+    sk_gateway = "wan-1";
+    guards = [ "gw-c0" ];
+    routers = wans @ gws @ accs;
+    edge_globs = [ "acc-*" ];
+    mid_globs = [ "gw-*"; "wan-*" ];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Issues                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let inject_changes node ops net =
+  match Network.apply_changes (List.map (Change.v node) ops) net with
+  | Ok net -> net
+  | Error m -> invalid_arg ("fleet issue injection failed: " ^ m)
+
+let iface_between net a bnode =
+  let topo = Network.topology net in
+  match Topology.link_between a bnode topo with
+  | Some l ->
+      if l.Topology.a.Topology.node = a then l.Topology.a.Topology.iface
+      else l.Topology.b.Topology.iface
+  | None -> invalid_arg (Printf.sprintf "fleet: no link between %s and %s" a bnode)
+
+let first_host e = List.hd e.hosts
+
+(* A probe pair for an issue anchored at edge [idx]: try offsets from
+   [prefer], skipping any (src, dst) direction the aggregation ACL
+   blocks — a probe that can never deliver would make the issue look
+   permanently unresolved.  The broken edge always stays in the flow
+   (as source, or as destination when only the reverse direction is
+   open). *)
+let pick_probe_pair edges ~blocked idx ~prefer =
+  let arr = Array.of_list edges in
+  let n = Array.length arr in
+  let rec go d tried =
+    if tried >= n then (arr.(idx), arr.((idx + 1) mod n))
+    else
+      let c = (idx + d) mod n in
+      if c = idx then go (d + 1) tried
+      else if not (blocked (arr.(idx), arr.(c))) then (arr.(idx), arr.(c))
+      else if not (blocked (arr.(c), arr.(idx))) then (arr.(c), arr.(idx))
+      else go (d + 1) (tried + 1)
+  in
+  go (max 1 prefer) 0
+
+(* An edge access port lands in the wrong VLAN — the paper's §5 vlan
+   pilot issue, placed by the seed. *)
+let misconfig_issue net edges ~blocked idx =
+  let e = List.nth edges idx in
+  let src_e, dst_e = pick_probe_pair edges ~blocked idx ~prefer:1 in
+  let host, _ = first_host e in
+  let _, probe_src = first_host src_e in
+  let _, probe_dst = first_host dst_e in
+  let other = if src_e.dev = e.dev then dst_e else src_e in
+  let port = iface_between net e.dev host in
+  {
+    Issue.name = "misconfig";
+    ticket =
+      Ticket.make ~id:"FLEET-001" ~kind:Ticket.Vlan
+        ~description:
+          (Printf.sprintf "%s lost connectivity to everything after a port change" host)
+        ~endpoints:[ host; fst (first_host other) ];
+    inject =
+      inject_changes e.dev
+        [ Change.Set_switchport { iface = port; switchport = Some (Ast.Access wrong_vlan) } ];
+    root_cause = e.dev;
+    fix_commands =
+      [
+        Printf.sprintf "connect %s" host;
+        "show ip route";
+        Printf.sprintf "ping %s" (Ipv4.to_string (Prefix.host e.subnet 1));
+        Printf.sprintf "connect %s" e.dev;
+        "show vlan";
+        "show interfaces";
+        "show running-config";
+        Printf.sprintf "configure interface %s switchport access vlan %d" port edge_vlan;
+        Printf.sprintf "connect %s" host;
+        Printf.sprintf "ping %s" (Ipv4.to_string (Prefix.host e.subnet 1));
+        Printf.sprintf "ping %s" (Ipv4.to_string (snd (first_host other)));
+      ];
+    probe = Flow.icmp probe_src probe_dst;
+  }
+
+(* Configuration drift: every uplink of one edge device slides into the
+   wrong OSPF area, detaching its subnet from the fabric. *)
+let drift_issue net edges ~blocked idx =
+  let n = List.length edges in
+  let e = List.nth edges idx in
+  let src_e, dst_e = pick_probe_pair edges ~blocked idx ~prefer:(n / 2) in
+  let remote = if src_e.dev = e.dev then dst_e else src_e in
+  let host, _ = first_host e in
+  let _, probe_src = first_host src_e in
+  let _, probe_dst = first_host dst_e in
+  let remote_host, remote_addr = first_host remote in
+  let uplinks = List.map (fun peer -> iface_between net e.dev peer) e.peers in
+  {
+    Issue.name = "drift";
+    ticket =
+      Ticket.make ~id:"FLEET-002" ~kind:Ticket.Routing
+        ~description:
+          (Printf.sprintf "subnet %s unreachable from the rest of the fleet"
+             (Prefix.to_string e.subnet))
+        ~endpoints:[ host; remote_host ];
+    inject =
+      inject_changes e.dev
+        (List.map
+           (fun iface -> Change.Set_ospf_area { iface; area = Some (e.area + 1) })
+           uplinks);
+    root_cause = e.dev;
+    fix_commands =
+      [
+        Printf.sprintf "connect %s" host;
+        Printf.sprintf "ping %s" (Ipv4.to_string remote_addr);
+        Printf.sprintf "connect %s" e.dev;
+        "show ip ospf neighbors";
+        "show ip route";
+        "show running-config";
+      ]
+      @ List.map
+          (fun iface ->
+            Printf.sprintf "configure interface %s ospf area %d" iface e.area)
+          uplinks
+      @ [ "show ip ospf neighbors"; Printf.sprintf "ping %s" (Ipv4.to_string remote_addr) ];
+    probe = Flow.icmp probe_src probe_dst;
+  }
+
+(* The ISP uplink goes down.  The External ticket grants addressing,
+   routing and interface privileges across the gateway, but the fix
+   exercises exactly one of them — the over-grant the surface analysis
+   flags. *)
+let overgrant_issue edges gateway uplink_iface uplink_addr =
+  let sensitive = List.hd edges in
+  let host, host_addr = first_host sensitive in
+  {
+    Issue.name = "overgrant";
+    ticket =
+      Ticket.make ~id:"FLEET-003" ~kind:Ticket.External
+        ~description:"the whole fleet lost internet access (ISP uplink dark)"
+        ~endpoints:[ gateway; host ];
+    inject =
+      inject_changes gateway
+        [ Change.Set_interface_enabled { iface = uplink_iface; enabled = false } ];
+    root_cause = gateway;
+    fix_commands =
+      [
+        Printf.sprintf "connect %s" gateway;
+        "show interfaces";
+        "show ip route";
+        Printf.sprintf "configure interface %s no shutdown" uplink_iface;
+        Printf.sprintf "ping %s" (Ipv4.to_string uplink_addr);
+      ];
+    probe = Flow.icmp host_addr uplink_addr;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Policies                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let closed_form_policies edges ~per_edge ~blocked ~uplink_addr =
+  let arr = Array.of_list edges in
+  let n = Array.length arr in
+  let reach =
+    List.concat
+      (List.init n (fun i ->
+           List.filter_map
+             (fun j ->
+               let d = (i + j) mod n in
+               if d = i then None
+               else
+                 let src = arr.(i) and dst = arr.(d) in
+                 if blocked (src, dst) then None
+                 else
+                   let _, sa = first_host src and _, da = first_host dst in
+                   Some
+                     (Policy.reachable
+                        ~id:(Printf.sprintf "fleet:reach:%s->%s" src.dev dst.dev)
+                        ~src_label:src.dev ~dst_label:dst.dev (Flow.icmp sa da)))
+             (List.init per_edge (fun j -> j + 1))))
+  in
+  let sensitive = arr.(0) in
+  let _, sa = first_host sensitive in
+  let egress =
+    Policy.reachable ~id:"fleet:egress" ~src_label:sensitive.dev ~dst_label:"uplink"
+      (Flow.icmp sa uplink_addr)
+  in
+  let guard =
+    if n < 2 then []
+    else
+      let guest = arr.(n - 1) in
+      let _, ga = first_host guest in
+      [
+        Policy.isolated
+          ~id:(Printf.sprintf "fleet:guard:%s-x>%s" guest.dev sensitive.dev)
+          ~src_label:guest.dev ~dst_label:sensitive.dev (Flow.icmp ga sa);
+      ]
+  in
+  (egress :: reach) @ guard
+
+(* ------------------------------------------------------------------ *)
+(* Privilege                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let fleet_privilege sk =
+  Privilege.of_predicates
+    [
+      Privilege.allow ~actions:[ "show.*"; "diag.*" ] ~nodes:[ "*" ] ();
+      Privilege.allow
+        ~actions:[ "vlan.define"; "vlan.switchport"; "interface.up"; "interface.shutdown" ]
+        ~nodes:sk.edge_globs ();
+      Privilege.allow
+        ~actions:[ "ospf.area"; "ospf.cost"; "ospf.network"; "route.static" ]
+        ~nodes:sk.mid_globs ();
+      Privilege.allow
+        ~actions:
+          [ "interface.up"; "interface.shutdown"; "interface.addr"; "route.static";
+            "route.gateway" ]
+        ~nodes:[ sk.sk_gateway ] ();
+    ]
+
+(* ------------------------------------------------------------------ *)
+(* Entry point                                                         *)
+(* ------------------------------------------------------------------ *)
+
+let generate params =
+  (match validate_params params with
+  | Ok () -> ()
+  | Error m -> invalid_arg ("Fleetgen.generate: " ^ m));
+  let sk =
+    match params.shape with
+    | Fat_tree { k } -> fat_tree ~k ~hosts_per_edge:params.hosts_per_edge
+    | Leaf_spine { spines; leaves } ->
+        leaf_spine ~spines ~leaves ~hosts_per_edge:params.hosts_per_edge
+    | Multi_campus { campuses; buildings } ->
+        multi_campus ~campuses ~buildings ~hosts_per_edge:params.hosts_per_edge
+  in
+  let b = sk.b in
+  (* ACL at the aggregation tier: the guards in front of the first
+     (sensitive) edge subnet drop probes from the last (guest) subnet on
+     their way down, everything else passes. *)
+  let edges = sk.sk_edges in
+  let sensitive = List.hd edges in
+  let n_edges = List.length edges in
+  if n_edges >= 2 then begin
+    let guest = List.nth edges (n_edges - 1) in
+    let guard_acl =
+      Acl.make acl_name
+        [
+          Acl.rule ~proto:(Acl.Proto Flow.Icmp) ~seq:10 Acl.Deny guest.subnet
+            sensitive.subnet;
+          Acl.rule ~seq:20 Acl.Permit Prefix.any Prefix.any;
+        ]
+    in
+    List.iter
+      (fun guard ->
+        Builder.acl b guard guard_acl;
+        match Builder.find_iface_to b guard sensitive.dev with
+        | Some iface -> Builder.bind_acl b ~node:guard ~iface ~dir:`Out acl_name
+        | None -> invalid_arg (Printf.sprintf "fleet: guard %s has no link to %s" guard sensitive.dev))
+      sk.guards
+  end;
+  (* Static uplink to a generated ISP edge: default route + originate on
+     the gateway, a return route into 10/8 on the provider side. *)
+  Builder.router b "isp";
+  let transit = Builder.p2p b sk.sk_gateway "isp" in
+  let gw_addr = Prefix.host transit 1 and isp_addr = Prefix.host transit 2 in
+  Builder.static_route b sk.sk_gateway Prefix.any isp_addr;
+  Builder.default_originate b sk.sk_gateway;
+  (* Router IDs and per-device secrets (scrubbed by the twin). *)
+  List.iteri
+    (fun i r ->
+      Builder.ospf_router_id b r (Ipv4.of_octets 9 9 (i / 250) ((i mod 250) + 1));
+      Builder.secret b r (Ast.Enable_secret (Printf.sprintf "fleet-enable-%s-3c7d" r));
+      Builder.secret b r (Ast.Snmp_community (Printf.sprintf "fleet-snmp-%s-a0e4" r)))
+    (sk.routers @ [ "isp" ]);
+  List.iter
+    (fun e ->
+      List.iter
+        (fun (h, _) ->
+          Builder.secret b h (Ast.User_password ("admin", Printf.sprintf "fleet-pw-%s-11fe" h)))
+        e.hosts)
+    edges;
+  let net = Builder.build b in
+  (* Policies.  [blocked] mirrors the guard ACL above: the guest → sensitive
+     icmp direction is dropped at the aggregation tier. *)
+  let uplink_addr = gw_addr in
+  let blocked (src, dst) =
+    n_edges >= 2
+    && src.dev = (List.nth edges (n_edges - 1)).dev
+    && dst.dev = sensitive.dev
+  in
+  let policies =
+    match params.mode with
+    | Closed ->
+        closed_form_policies edges ~per_edge:params.policies_per_edge ~blocked
+          ~uplink_addr
+    | Mined ->
+        Spec_miner.mine
+          ~options:{ Spec_miner.mine_icmp = true; tcp_services = [] }
+          (Dataplane.compute net)
+  in
+  (* Seeded issue placement. *)
+  let st = Random.State.make [| 0xF1EE; params.seed |] in
+  let mis_idx = Random.State.int st n_edges in
+  let drift_idx =
+    if n_edges = 1 then 0
+    else (mis_idx + 1 + Random.State.int st (n_edges - 1)) mod n_edges
+  in
+  let uplink_iface = iface_between net sk.sk_gateway "isp" in
+  let issues =
+    [
+      misconfig_issue net edges ~blocked mis_idx;
+      drift_issue net edges ~blocked drift_idx;
+      overgrant_issue edges sk.sk_gateway uplink_iface uplink_addr;
+    ]
+  in
+  {
+    name = "fleet:" ^ spec_to_string params;
+    params;
+    net;
+    policies;
+    privilege = fleet_privilege sk;
+    issues;
+    edges;
+    gateway = sk.sk_gateway;
+    uplink_addr;
+  }
+
+let device_count fleet = Topology.node_count (Network.topology fleet.net)
+let link_count fleet = Topology.link_count (Network.topology fleet.net)
+
+(* ------------------------------------------------------------------ *)
+(* Process metrics                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let peak_rss_kb () =
+  try
+    let ic = open_in "/proc/self/status" in
+    let rec scan () =
+      match input_line ic with
+      | exception End_of_file ->
+          close_in ic;
+          None
+      | line ->
+          if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then begin
+            close_in ic;
+            Scanf.sscanf (String.sub line 6 (String.length line - 6)) " %d kB"
+              (fun kb -> Some kb)
+          end
+          else scan ()
+    in
+    scan ()
+  with Sys_error _ | Scanf.Scan_failure _ | Failure _ -> None

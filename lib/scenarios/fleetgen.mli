@@ -1,0 +1,92 @@
+(** Fleet-scale topology generator: seeded, parameterized fat-tree,
+    leaf-spine and multi-campus networks with real configs — OSPF areas
+    per pod/campus, VLANs at the edge, ACLs at the aggregation tier, a
+    static uplink to a generated ISP edge — plus policies, a per-fleet
+    privilege spec and issue injectors, so the whole lint → twin →
+    verify → schedule → audit pipeline runs unmodified at 100–1000+
+    devices.
+
+    Generation is a pure function of [params]: the same (shape, params,
+    seed) always yields byte-identical topology, configs and policies.
+    The seed only drives issue placement — where the misconfig, drift and
+    over-grant injectors strike. *)
+
+open Heimdall_net
+open Heimdall_control
+open Heimdall_verify
+open Heimdall_privilege
+open Heimdall_msp
+
+type shape =
+  | Fat_tree of { k : int }
+      (** Classic k-ary fat-tree: (k/2)² cores, k pods of k/2 aggregation
+          + k/2 edge routers.  [k] must be even, 4 ≤ k ≤ 32. *)
+  | Leaf_spine of { spines : int; leaves : int }
+      (** Full spine–leaf bipartite fabric, single OSPF area. *)
+  | Multi_campus of { campuses : int; buildings : int }
+      (** Campuses of access routers behind a gateway, dual-homed to two
+          WAN cores; one OSPF area per campus, area 0 across the WAN. *)
+
+type mode = Closed | Mined
+(** Policy source: [Closed] emits closed-form reachability/isolation
+    intents (O(edges), usable at any size); [Mined] runs the spec miner
+    over the computed dataplane (O(subnets²) traces — small fleets). *)
+
+type params = {
+  shape : shape;
+  hosts_per_edge : int;  (** Hosts attached to each edge subnet (1–16). *)
+  policies_per_edge : int;
+      (** Closed-form reachability intents per edge subnet (0–16). *)
+  mode : mode;
+  seed : int;  (** Drives issue placement only. *)
+}
+
+val default_params : shape -> params
+(** 2 hosts and 2 closed-form policies per edge, seed 42. *)
+
+val validate_params : params -> (unit, string) result
+
+type edge = {
+  dev : string;  (** Edge device owning the subnet (SVI ".1"). *)
+  subnet : Prefix.t;
+  area : int;  (** OSPF area of the subnet and the device's uplinks. *)
+  peers : string list;  (** Aggregation-tier uplink neighbours. *)
+  hosts : (string * Ipv4.t) list;  (** Host name, address; ".11" first. *)
+}
+
+type fleet = {
+  name : string;  (** ["fleet:" ^ spec_to_string params]. *)
+  params : params;
+  net : Network.t;
+  policies : Policy.t list;
+  privilege : Privilege.t;
+      (** Per-fleet operator baseline: read-only everywhere, repairs
+          scoped to the tier they belong to (render with
+          {!Heimdall_privilege.Dsl.render}). *)
+  issues : Issue.t list;
+      (** Seeded injectors: ["misconfig"] (edge access port in the wrong
+          VLAN), ["drift"] (edge uplinks moved to the wrong OSPF area),
+          ["overgrant"] (ISP uplink down; the External ticket grants far
+          more than the one-command fix exercises). *)
+  edges : edge list;  (** Edge subnets in generation order. *)
+  gateway : string;  (** Device holding the static ISP uplink. *)
+  uplink_addr : Ipv4.t;  (** Gateway-side address of the ISP transit. *)
+}
+
+val generate : params -> fleet
+(** @raise Invalid_argument when {!validate_params} rejects [params]. *)
+
+val spec_to_string : params -> string
+(** Canonical spec, e.g. ["fat-tree:k=8:hosts=2:policies=2:mode=closed:seed=42"]. *)
+
+val spec_of_string : string -> (params, string) result
+(** Parse a spec: a shape name followed by [key=value] fields, all
+    optional (["fat-tree:k=4:seed=7"]).  Accepts an optional ["fleet:"]
+    prefix.  Validates the result. *)
+
+val device_count : fleet -> int
+val link_count : fleet -> int
+
+val peak_rss_kb : unit -> int option
+(** Peak resident set size of this process (VmHWM from /proc, Linux);
+    [None] where unavailable.  Used by [bench scale] and the CLI. *)

@@ -54,6 +54,60 @@ let test_apply_plan_shape () =
       checkb "apply stage" true (f.Fault.stage = Fault.Apply))
     faults
 
+(* Golden plans for the two paper networks, captured before the picks
+   moved from list traversals to pre-sized arrays.  The array refactor
+   must keep seeded plans byte-identical: same draws, same indices, same
+   candidate order. *)
+let golden_plan name scenario ~seed ~steps expected =
+  let sc =
+    match Experiments.scenario_of_name scenario with
+    | Some sc -> sc
+    | None -> Alcotest.fail (scenario ^ " scenario missing")
+  in
+  let plan = Fault.for_apply ~seed ~network:sc.Experiments.net ~steps in
+  Alcotest.check
+    (Alcotest.list Alcotest.string)
+    name expected
+    (List.map Fault.to_string plan)
+
+let test_apply_plans_golden () =
+  golden_plan "enterprise seed 42" "enterprise" ~seed:42 ~steps:6
+    [
+      "enclave-restart at apply step 4 (duration 1)";
+      "partial-apply at apply step 5 (duration 2)";
+      "link-down r5:eth1 at apply step 6 (duration 1)";
+      "device-crash r8 at apply step 6 (duration 1)";
+    ];
+  golden_plan "enterprise seed 7" "enterprise" ~seed:7 ~steps:9
+    [
+      "enclave-restart at apply step 1 (duration 1)";
+      "link-down r5:eth1 at apply step 4 (duration 2)";
+      "partial-apply at apply step 7 (duration 2)";
+      "device-crash r8 at apply step 8 (duration 1)";
+    ];
+  golden_plan "university seed 42" "university" ~seed:42 ~steps:6
+    [
+      "enclave-restart at apply step 4 (duration 1)";
+      "partial-apply at apply step 5 (duration 2)";
+      "link-down core2:eth4 at apply step 6 (duration 1)";
+      "device-crash dist1 at apply step 6 (duration 1)";
+    ];
+  golden_plan "university seed 7" "university" ~seed:7 ~steps:9
+    [
+      "enclave-restart at apply step 1 (duration 1)";
+      "link-down dist2:eth10 at apply step 4 (duration 2)";
+      "partial-apply at apply step 7 (duration 2)";
+      "device-crash acc6 at apply step 8 (duration 1)";
+    ];
+  Alcotest.check
+    (Alcotest.list Alcotest.string)
+    "twin seed 42"
+    [
+      "flaky-command at twin step 2 (duration 2)";
+      "flaky-command at twin step 4 (duration 2)";
+    ]
+    (List.map Fault.to_string (Fault.for_twin ~seed:42 ~edits:5))
+
 let test_degrade_is_overlay () =
   let net = Enterprise.build () in
   let topo = Network.topology net in
@@ -133,6 +187,33 @@ let test_applier_clean_run () =
     (Applier.network_digest final)
     (Applier.network_digest s.Applier.network);
   checkb "audit verifies" true (Audit.verify s.Applier.audit = Ok ())
+
+let test_applier_digest_agrees_with_scheduler () =
+  (* Regression for the per-attempt whole-network marshal: the applier now
+     compares checkpoints with the incrementally-maintained structural
+     digest, so it must agree with [Network.digest] and with every
+     scheduler checkpoint along a plan. *)
+  let d1 = Applier.network_digest (Enterprise.build ()) in
+  checks "equal construction chains agree" d1
+    (Applier.network_digest (Enterprise.build ()));
+  checks "one digest scheme everywhere"
+    (Digest.to_hex (Network.digest (Enterprise.build ())))
+    d1;
+  let net, plan, final = two_step_plan () in
+  let last =
+    List.fold_left
+      (fun cur (st : Scheduler.step) ->
+        match Network.apply_changes [ st.Scheduler.change ] cur with
+        | Ok next ->
+            checks "applier-side state digest = scheduler checkpoint digest"
+              (Applier.network_digest st.Scheduler.checkpoint)
+              (Applier.network_digest next);
+            next
+        | Error e -> Alcotest.fail e)
+      net plan.Scheduler.steps
+  in
+  checks "plan lands on the scheduled final network"
+    (Applier.network_digest final) (Applier.network_digest last)
 
 let test_applier_retries_transient_fault () =
   let net, plan, final = two_step_plan () in
@@ -280,6 +361,9 @@ let suite =
   [
     Alcotest.test_case "seeded plans deterministic" `Quick test_plans_deterministic;
     Alcotest.test_case "apply plan shape" `Quick test_apply_plan_shape;
+    Alcotest.test_case "apply plans golden" `Quick test_apply_plans_golden;
+    Alcotest.test_case "applier digest agrees with scheduler" `Quick
+      test_applier_digest_agrees_with_scheduler;
     Alcotest.test_case "degrade is a pure overlay" `Quick test_degrade_is_overlay;
     Alcotest.test_case "twin hook flaky then clears" `Quick test_twin_hook_flaky_then_clears;
     Alcotest.test_case "emulation hook blocks edit" `Quick test_emulation_hook_blocks_edit;

@@ -26,4 +26,5 @@ let () =
       ("sdn", Test_sdn.suite);
       ("university", Test_university.suite);
       ("enterprise", Test_enterprise.suite);
+      ("fleet", Test_fleet.suite);
     ]

@@ -302,6 +302,98 @@ let test_topology_graph_projection () =
   checki "vertices" 3 (Graph.vertex_count g);
   checki "directed edges" 4 (Graph.edge_count g)
 
+let test_topology_digest () =
+  checkb "deterministic" true (Topology.digest (tiny_topo ()) = Topology.digest (tiny_topo ()));
+  let grown =
+    Topology.add_link { node = "r2"; iface = "eth1" } { node = "h1"; iface = "eth1" }
+      (tiny_topo ())
+  in
+  checkb "sensitive to wiring" true (Topology.digest grown <> Topology.digest (tiny_topo ()))
+
+(* qcheck: the per-node link index gives byte-identical answers to a naive
+   scan over the global link list, across arbitrary add/remove histories. *)
+let naive_links_of name t =
+  List.filter
+    (fun (l : Topology.link) -> l.Topology.a.Topology.node = name || l.Topology.b.Topology.node = name)
+    (Topology.links t)
+
+let naive_peer (e : Topology.endpoint) t =
+  List.find_map
+    (fun (l : Topology.link) ->
+      if l.Topology.a = e then Some l.Topology.b
+      else if l.Topology.b = e then Some l.Topology.a
+      else None)
+    (Topology.links t)
+
+let naive_neighbors name t =
+  List.concat_map
+    (fun (l : Topology.link) ->
+      (if l.Topology.a.Topology.node = name then [ l.Topology.b.Topology.node ] else [])
+      @ if l.Topology.b.Topology.node = name then [ l.Topology.a.Topology.node ] else [])
+    (Topology.links t)
+  |> List.sort_uniq String.compare
+
+let naive_interfaces_of name t =
+  List.concat_map
+    (fun (l : Topology.link) ->
+      (if l.Topology.a.Topology.node = name then [ l.Topology.a.Topology.iface ] else [])
+      @ if l.Topology.b.Topology.node = name then [ l.Topology.b.Topology.iface ] else [])
+    (Topology.links t)
+  |> List.sort String.compare
+
+let naive_link_between n1 n2 t =
+  List.find_opt
+    (fun (l : Topology.link) ->
+      (l.Topology.a.Topology.node = n1 && l.Topology.b.Topology.node = n2)
+      || (l.Topology.a.Topology.node = n2 && l.Topology.b.Topology.node = n1))
+    (Topology.links t)
+
+let prop_topology_index_matches_naive =
+  (* An op list over 6 nodes x 4 interfaces: add a link, unplug an
+     endpoint, or drop a node and re-add it empty (exercising every index
+     update path).  Invalid adds (rewired iface, self-link) are skipped. *)
+  let ops =
+    QCheck.list_of_size (QCheck.Gen.return 30)
+      (QCheck.quad (QCheck.int_bound 5) (QCheck.int_bound 3) (QCheck.int_bound 5)
+         (QCheck.int_bound 9))
+  in
+  QCheck.Test.make ~count:200 ~name:"topology index = naive scan" ops (fun ops ->
+      let name i = "n" ^ string_of_int i in
+      let ep i j = { Topology.node = name i; iface = "eth" ^ string_of_int j } in
+      let base =
+        List.init 6 (fun i -> name i)
+        |> List.fold_left (fun t n -> Topology.add_node n Topology.Router t) Topology.empty
+      in
+      let t =
+        List.fold_left
+          (fun t (i, j, i', sel) ->
+            if sel < 7 then
+              try Topology.add_link (ep i j) (ep i' ((sel + j) mod 4)) t
+              with Invalid_argument _ -> t
+            else if sel = 7 then Topology.remove_link (ep i j) t
+            else
+              (* Drop the node and re-add it unwired. *)
+              Topology.add_node (name i) Topology.Router (Topology.remove_node (name i) t)
+          )
+          base ops
+      in
+      let names = List.init 6 (fun i -> name i) in
+      List.for_all
+        (fun n ->
+          Topology.links_of n t = naive_links_of n t
+          && Topology.neighbors n t = naive_neighbors n t
+          && Topology.interfaces_of n t = naive_interfaces_of n t
+          && Topology.degree n t = List.length (naive_interfaces_of n t)
+          && List.for_all
+               (fun n' -> Topology.link_between n n' t = naive_link_between n n' t)
+               names
+          && List.for_all
+               (fun j ->
+                 let e = ep (int_of_string (String.sub n 1 1)) j in
+                 Topology.peer e t = naive_peer e t)
+               [ 0; 1; 2; 3 ])
+        names)
+
 (* ---------------- Acl ---------------- *)
 
 let sample_acl () =
@@ -529,6 +621,8 @@ let suite =
     Alcotest.test_case "topology remove link" `Quick test_topology_remove_link;
     Alcotest.test_case "topology validate" `Quick test_topology_validate;
     Alcotest.test_case "topology graph projection" `Quick test_topology_graph_projection;
+    Alcotest.test_case "topology digest" `Quick test_topology_digest;
+    QCheck_alcotest.to_alcotest prop_topology_index_matches_naive;
     Alcotest.test_case "acl first match" `Quick test_acl_first_match;
     Alcotest.test_case "acl implicit deny" `Quick test_acl_implicit_deny;
     Alcotest.test_case "acl port ranges" `Quick test_acl_port_ranges;
