@@ -1,7 +1,7 @@
 # CI entry points.  `make check` is what the pipeline runs on every
 # change: a full build plus the tier-1 test suite.
 
-.PHONY: check build test lint analyze-smoke plan-smoke bench bench-smoke chaos-smoke scale-smoke serve-smoke clean
+.PHONY: check build test lint analyze-smoke plan-smoke policy-smoke bench bench-smoke chaos-smoke scale-smoke serve-smoke clean
 
 check: build test
 
@@ -40,6 +40,20 @@ plan-smoke: build
 	dune exec bin/heimdall_cli.exe -- conflicts university
 	! dune exec bin/heimdall_cli.exe -- conflicts enterprise --seed-overlap > /tmp/plan-seeded.out
 	grep -q "plan.conflict" /tmp/plan-seeded.out
+
+# Policy-tree smoke: both paper networks and a generated fleet must
+# compile and analyse clean (POL004 proves the tree equivalent to the
+# flat spec), a seeded parent/child contradiction must flip the exit
+# code and report POL001, and the rule registry printed by --list-rules
+# must match the expected family count.
+policy-smoke: build
+	dune exec bin/heimdall_cli.exe -- policy enterprise
+	dune exec bin/heimdall_cli.exe -- policy university
+	dune exec bin/heimdall_cli.exe -- policy fleet:fat-tree:k=4
+	! dune exec bin/heimdall_cli.exe -- policy enterprise --seed-defect pol001 > /tmp/policy-seeded.out
+	grep -q POL001 /tmp/policy-seeded.out
+	dune exec bin/heimdall_cli.exe -- lint --list-rules | grep -q "35 rules in 6 families"
+	dune exec bench/main.exe -- poltree
 
 bench:
 	dune exec bench/main.exe

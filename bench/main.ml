@@ -8,7 +8,7 @@
      dune exec bench/main.exe -- fig7 | fig8 | fig9 | engine | lint
                                  | sem | ablation-verify | ablation-slicer
                                  | ablation-audit | containment | chaos
-                                 | scale | obs | micro *)
+                                 | scale | poltree | obs | micro *)
 
 open Bechamel
 open Toolkit
@@ -877,6 +877,109 @@ let report_scale () =
        ]);
   print_newline ()
 
+let report_poltree () =
+  let open Heimdall_verify in
+  let open Heimdall_poltree in
+  print_string "== Policy tree: compile + POL analysis vs fleet size ==\n";
+  let n = max 2 (Engine.default_domains ()) in
+  let all_ok = ref true in
+  let rule_registry =
+    List.filter
+      (fun (r : Heimdall_lint.Lint.rule) -> r.family = Heimdall_lint.Lint.Pol)
+      Heimdall_lint.Lint.rules
+  in
+  let sections =
+    List.map
+      (fun spec ->
+        let params =
+          match Fleetgen.spec_of_string spec with
+          | Ok p -> p
+          | Error m -> failwith ("bad bench spec " ^ spec ^ ": " ^ m)
+        in
+        let fleet = Fleetgen.generate params in
+        let compiled, compile_s =
+          Heimdall_msp.Timing.elapsed (fun () ->
+              Compile.compile_exn fleet.Fleetgen.poltree)
+        in
+        let run domains =
+          let engine = Engine.create ~domains () in
+          let findings, s =
+            Heimdall_msp.Timing.elapsed (fun () ->
+                Analysis.check ~engine ~policies:fleet.Fleetgen.policies compiled)
+          in
+          Engine.shutdown engine;
+          (findings, s)
+        in
+        let findings1, check_s1 = run 1 in
+        let findingsn, check_sn = run n in
+        let identical = findings1 = findingsn in
+        let pol004_errors =
+          List.length
+            (List.filter
+               (fun (d : Heimdall_lint.Diagnostic.t) ->
+                 d.code = "POL004" && d.severity = Heimdall_lint.Diagnostic.Error)
+               findings1)
+        in
+        let per_code code =
+          List.length
+            (List.filter
+               (fun (d : Heimdall_lint.Diagnostic.t) -> d.code = code)
+               findings1)
+        in
+        let ok = identical && pol004_errors = 0 in
+        if not ok then all_ok := false;
+        Printf.printf
+          "%-38s %3d nodes %3d leaves  compile %6.3f s  check(1) %6.3f s  \
+           check(%d) %6.3f s\n"
+          spec
+          (List.length compiled.Compile.nodes)
+          (List.length compiled.Compile.leaves)
+          compile_s check_s1 n check_sn;
+        Printf.printf
+          "  verdicts 1=%d domains: %b  POL004 errors: %d  findings: %d\n" n
+          identical pol004_errors (List.length findings1);
+        let open Heimdall_json in
+        Json.Obj
+          [
+            ("spec", Json.String spec);
+            ("nodes", Json.Int (List.length compiled.Compile.nodes));
+            ("leaves", Json.Int (List.length compiled.Compile.leaves));
+            ("rules", Json.Int (Poltree.rule_count fleet.Fleetgen.poltree));
+            ("wall_s_compile", Json.Float compile_s);
+            ("wall_s_check_1_domain", Json.Float check_s1);
+            ("wall_s_check_n_domains", Json.Float check_sn);
+            ("findings_identical_across_domains", Json.Bool identical);
+            ("pol004_errors", Json.Int pol004_errors);
+            ( "findings_per_rule",
+              Json.Obj
+                (List.map
+                   (fun (r : Heimdall_lint.Lint.rule) ->
+                     (r.code, Json.Int (per_code r.code)))
+                   rule_registry) );
+          ])
+      [ "fat-tree:k=4"; "fat-tree:k=8"; "multi-campus:campuses=20:buildings=8" ]
+  in
+  Printf.printf "poltree gate: %s\n" (if !all_ok then "PASS" else "FAIL");
+  if not !all_ok then gate_failed := true;
+  let open Heimdall_json in
+  let families =
+    List.sort_uniq compare
+      (List.map
+         (fun (r : Heimdall_lint.Lint.rule) -> r.family)
+         Heimdall_lint.Lint.rules)
+  in
+  persist_report ~key:"poltree"
+    (Json.Obj
+       [
+         ("domains", Json.Int n);
+         ("passed", Json.Bool !all_ok);
+         ("rule_registry_total", Json.Int (List.length Heimdall_lint.Lint.rules));
+         ("rule_registry_families", Json.Int (List.length families));
+         ("rule_registry_pol", Json.Int (List.length rule_registry));
+         ("fleets", Json.List sections);
+       ]);
+  print_newline ()
+
 (* ------------------------------------------------------------------ *)
 (* Entry point                                                         *)
 (* ------------------------------------------------------------------ *)
@@ -898,6 +1001,7 @@ let reports =
     ("campaign", report_campaign);
     ("chaos", report_chaos);
     ("scale", report_scale);
+    ("poltree", report_poltree);
     ("obs", report_obs);
     ("micro", run_benchmarks);
   ]

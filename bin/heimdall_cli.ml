@@ -7,6 +7,8 @@
      lint       static analysis over configs, ACLs and privilege specs
      analyze    semantic analysis: packet-set ACL checks, network-wide
                 checks, per-ticket privilege over-grant detection
+     policy     parse, compile, diff and analyse hierarchical policy
+                trees (POL001-POL006) against the flat spec and tickets
      trace      trace a flow through a network's dataplane
      ticket     run an issue through the Current and Heimdall workflows
      privilege  print the Privilege_msp generated for an issue's ticket
@@ -554,7 +556,9 @@ let lint_domains_arg =
         ~doc:"Engine domain pool for the per-device/per-link fan-out (default: auto).")
 
 let lint_rules_flag =
-  Arg.(value & flag & info [ "rules" ] ~doc:"List every lint rule code and exit.")
+  Arg.(
+    value & flag
+    & info [ "rules"; "list-rules" ] ~doc:"List every lint rule code and exit.")
 
 let print_lint_rules () =
   let open Heimdall_lint in
@@ -565,7 +569,12 @@ let print_lint_rules () =
         (Lint.family_to_string r.family)
         (Diagnostic.severity_to_string r.severity)
         r.summary)
-    Lint.rules
+    Lint.rules;
+  let families =
+    List.sort_uniq compare (List.map (fun (r : Lint.rule) -> r.family) Lint.rules)
+  in
+  Printf.printf "%d rules in %d families\n" (List.length Lint.rules)
+    (List.length families)
 
 let lint_target_arg =
   Arg.(
@@ -927,6 +936,240 @@ let analyze_cmd =
     Term.(
       const run $ lint_target_arg $ lint_json_flag $ lint_severity_arg $ lint_domains_arg
       $ lint_rules_flag $ seed_defect_flag $ plan_flag $ dp_cache_arg)
+
+(* ---------------- policy ---------------- *)
+
+(* Resolve a policy-tree source: a .pol/.json file on disk, a generated
+   fleet (whose tree is emitted alongside its closed-form policies), or
+   a paper scenario (tree mined from the flat spec).  Scenario and fleet
+   targets also carry the flat policies, issues and network — enabling
+   the POL004 refinement and POL005 ticket cross-checks; file targets
+   get structural analysis only. *)
+let resolve_policy_target target =
+  let open Heimdall_poltree in
+  let from_file path =
+    let contents =
+      let ic = open_in_bin path in
+      let n = in_channel_length ic in
+      let s = really_input_string ic n in
+      close_in ic;
+      s
+    in
+    let parsed =
+      if Filename.check_suffix path ".json" then
+        match Heimdall_json.Json.of_string_opt contents with
+        | None -> Error "invalid JSON"
+        | Some j -> Poltree.of_json j
+      else Parser.parse_result contents
+    in
+    match parsed with
+    | Ok t -> (path, t, [], [], None)
+    | Error m ->
+        prerr_endline (Printf.sprintf "heimdall: %s: %s" path m);
+        exit 124
+  in
+  if Sys.file_exists target && not (Sys.is_directory target) then from_file target
+  else if String.length target > 6 && String.sub target 0 6 = "fleet:" then
+    match Fleetgen.spec_of_string target with
+    | Error m ->
+        prerr_endline ("heimdall: bad fleet spec: " ^ m);
+        exit 124
+    | Ok params ->
+        let fleet = Fleetgen.generate params in
+        ( fleet.Fleetgen.name,
+          fleet.Fleetgen.poltree,
+          fleet.Fleetgen.policies,
+          fleet.Fleetgen.issues,
+          Some fleet.Fleetgen.net )
+  else
+    match Experiments.scenario_of_name target with
+    | None ->
+        prerr_endline
+          (Printf.sprintf
+             "heimdall: unknown policy target %S (expected a scenario name, a fleet \
+              spec or a .pol/.json file)"
+             target);
+        exit 124
+    | Some sc ->
+        let tree =
+          Mine.of_policies
+            ~segs:(Mine.segs_of_network sc.Experiments.net)
+            sc.Experiments.policies
+        in
+        ( sc.Experiments.scenario_name,
+          tree,
+          sc.Experiments.policies,
+          sc.Experiments.issues,
+          Some sc.Experiments.net )
+
+(* The same ticket construction the analyze/lint paths use, so POL005
+   judges exactly the privilege specs Heimdall would grant. *)
+let poltree_tickets net issues =
+  List.map
+    (fun (issue : Heimdall_msp.Issue.t) ->
+      let broken = issue.inject net in
+      let slice =
+        Heimdall_twin.Twin.slice_nodes ~production:broken
+          ~endpoints:issue.ticket.endpoints ()
+      in
+      let spec = Heimdall_msp.Priv_gen.for_ticket ~network:broken ~slice issue.ticket in
+      {
+        Heimdall_lint.Plan_lint.label = "ticket:" ^ issue.name;
+        spec;
+        scope = slice;
+        commands = issue.fix_commands;
+      })
+    issues
+
+let policy_cmd =
+  let open Heimdall_lint in
+  let open Heimdall_poltree in
+  let show_flag =
+    Arg.(
+      value & flag
+      & info [ "show" ] ~doc:"Print the tree in canonical text form and exit.")
+  in
+  let compile_flag =
+    Arg.(
+      value & flag
+      & info [ "compile" ]
+          ~doc:"Print the compiled form (per-leaf permit sets and waypoints) and exit.")
+  in
+  let diff_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "diff" ] ~docv:"OTHER"
+          ~doc:
+            "Compile both trees and report their exact semantic difference with \
+             witness packets; exit non-zero when they differ.")
+  in
+  let seed_conv = Arg.enum [ ("pol001", `Pol001); ("pol004", `Pol004) ] in
+  let seed_arg =
+    Arg.(
+      value
+      & opt (some seed_conv) None
+      & info [ "seed-defect" ] ~docv:"RULE"
+          ~doc:
+            "Self-test: inject a defect only the named analysis can catch (pol001: a \
+             root deny! contradicting a descendant allow; pol004: a flipped leaf \
+             allow breaking refinement), then analyse.  The run must exit non-zero.")
+  in
+  let run target json severity domains rules show compiled diff_target seed cache_dir =
+    match (rules, target) with
+    | true, _ -> print_lint_rules ()
+    | false, None ->
+        prerr_endline "heimdall: required argument TARGET is missing (or pass --rules)";
+        exit 124
+    | false, Some target -> (
+        let name, tree, policies, issues, network = resolve_policy_target target in
+        let tree, seeded =
+          match seed with
+          | None -> (tree, None)
+          | Some kind -> (
+              let seeder, code =
+                match kind with
+                | `Pol001 -> (Analysis.seed_pol001, "POL001")
+                | `Pol004 -> (Analysis.seed_pol004, "POL004")
+              in
+              match seeder tree with
+              | Ok t -> (t, Some code)
+              | Error m ->
+                  prerr_endline ("heimdall: --seed-defect: " ^ m);
+                  exit 124)
+        in
+        if show then print_string (Poltree.render tree)
+        else
+          match Compile.compile tree with
+          | Error m ->
+              prerr_endline ("heimdall: compile: " ^ m);
+              exit 124
+          | Ok c -> (
+              match diff_target with
+              | Some other -> (
+                  let other_name, other_tree, _, _, _ = resolve_policy_target other in
+                  match Compile.compile other_tree with
+                  | Error m ->
+                      prerr_endline
+                        (Printf.sprintf "heimdall: compile %s: %s" other_name m);
+                      exit 124
+                  | Ok oc ->
+                      let d = Compile.diff c oc in
+                      if Compile.diff_is_empty d then
+                        Printf.printf "%s and %s are semantically identical\n" name
+                          other_name
+                      else begin
+                        print_string (Compile.render_diff d);
+                        exit 1
+                      end)
+              | None ->
+                  if compiled then begin
+                    Printf.printf
+                      "compiled %s: %d nodes (%d leaves), %d permit cubes, %d \
+                       waypoint sets\n"
+                      name
+                      (List.length c.Compile.nodes)
+                      (List.length c.Compile.leaves)
+                      (Packet_set.cube_count c.Compile.permit)
+                      (List.length c.Compile.requires);
+                    List.iter
+                      (fun (l : Compile.leaf) ->
+                        Printf.printf "  %-40s permit %4d cubes%s\n" l.Compile.leaf_path
+                          (Packet_set.cube_count l.Compile.leaf_permit)
+                          (match l.Compile.leaf_requires with
+                          | [] -> ""
+                          | ws ->
+                              "  via "
+                              ^ String.concat ", " (List.map fst ws)))
+                      c.Compile.leaves
+                  end
+                  else
+                    let engine = Heimdall_verify.Engine.create ?domains ?cache_dir () in
+                    let tickets =
+                      match network with
+                      | Some net -> poltree_tickets net issues
+                      | None -> []
+                    in
+                    let findings =
+                      Analysis.check ~engine ~policies ~tickets ?network c
+                    in
+                    let findings, fail =
+                      Lint.apply_severity ~min_severity:severity findings
+                    in
+                    let header =
+                      Printf.sprintf
+                        "policy %s: %d nodes, %d rules, %d leaves, %d flat policies, \
+                         %d tickets%s\n"
+                        name
+                        (List.length c.Compile.nodes)
+                        (Poltree.rule_count tree)
+                        (List.length c.Compile.leaves)
+                        (List.length policies) (List.length tickets)
+                        (match seeded with
+                        | Some code -> Printf.sprintf " [seeded %s defect]" code
+                        | None -> "")
+                    in
+                    print_report_and_exit ~name ~json ~header findings ~fail))
+  in
+  let target_arg =
+    Arg.(
+      value
+      & pos 0 (some string) None
+      & info [] ~docv:"TARGET"
+          ~doc:
+            "Policy-tree source: a scenario name (enterprise, university), a fleet \
+             spec (fleet:fat-tree:k=4), or a .pol/.json tree file.")
+  in
+  Cmd.v
+    (Cmd.info "policy"
+       ~doc:
+         "Parse, compile and statically analyse a hierarchical policy tree \
+          (POL001-POL006): exact child-override semantics, refinement against the \
+          flat policy spec with witness packets, and ticket-privilege cross-checks; \
+          exit non-zero on error-severity findings")
+    Term.(
+      const run $ target_arg $ lint_json_flag $ lint_severity_arg $ lint_domains_arg
+      $ lint_rules_flag $ show_flag $ compile_flag $ diff_arg $ seed_arg $ dp_cache_arg)
 
 (* ---------------- conflicts ---------------- *)
 
@@ -1468,6 +1711,7 @@ let () =
             mine_cmd;
             lint_cmd;
             analyze_cmd;
+            policy_cmd;
             conflicts_cmd;
             trace_cmd;
             ticket_cmd;

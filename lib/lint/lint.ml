@@ -3,7 +3,7 @@ open Heimdall_verify
 
 (* ---------------- rule registry ---------------- *)
 
-type family = Config | Acl | Net | Privilege | Plan
+type family = Config | Acl | Net | Privilege | Plan | Pol
 
 let family_to_string = function
   | Config -> "config"
@@ -11,6 +11,7 @@ let family_to_string = function
   | Net -> "net"
   | Privilege -> "privilege"
   | Plan -> "plan"
+  | Pol -> "pol"
 
 type rule = {
   code : string;
@@ -79,6 +80,20 @@ let rules =
       summary = "write footprint outside the ticket scope" };
     { code = "PLAN005"; family = Plan; severity = Diagnostic.Info;
       summary = "predicted packet-set delta covers a policy's flow" };
+    (* The POL analyzers live in Heimdall_poltree (they need the tree
+       compiler); only their registry identity lives here. *)
+    { code = "POL001"; family = Pol; severity = Diagnostic.Error;
+      summary = "child allows traffic an ancestor unconditionally denies (deny!)" };
+    { code = "POL002"; family = Pol; severity = Diagnostic.Warning;
+      summary = "rule shadowed: earlier rules, siblings or descendants already decide all its traffic" };
+    { code = "POL003"; family = Pol; severity = Diagnostic.Warning;
+      summary = "node scope compiles to the empty packet set (unreachable under its ancestors)" };
+    { code = "POL004"; family = Pol; severity = Diagnostic.Error;
+      summary = "refinement violation: compiled tree and flat policy spec disagree (witnessed)" };
+    { code = "POL005"; family = Pol; severity = Diagnostic.Warning;
+      summary = "ticket delta can flip a tree verdict but its privilege covers no owner of the scope" };
+    { code = "POL006"; family = Pol; severity = Diagnostic.Warning;
+      summary = "redundant subtree: removing it leaves permit, deny and require sets unchanged" };
   ]
 
 let rule code = List.find_opt (fun r -> r.code = code) rules

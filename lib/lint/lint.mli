@@ -16,7 +16,7 @@ open Heimdall_verify
 
 (** {1 Rule registry} *)
 
-type family = Config | Acl | Net | Privilege | Plan
+type family = Config | Acl | Net | Privilege | Plan | Pol
 
 val family_to_string : family -> string
 

@@ -228,12 +228,28 @@ let mem t (f : Flow.t) =
       && c.dp_lo <= f.dst_port && f.dst_port <= c.dp_hi)
     t
 
+(* The witness order is part of the tool's contract: golden tests pin
+   ACL004/POL004 messages, so the choice must not depend on the internal
+   cube ordering (which sorts whole prefixes, not their low addresses). *)
 let sample = function
   | [] -> None
-  | c :: _ ->
+  | first :: rest ->
+      let proto_rank c =
+        match lowest_proto c.protos with Flow.Icmp -> 0 | Flow.Tcp -> 1 | Flow.Udp -> 2
+      in
+      let key c =
+        ( Ipv4.to_int (Prefix.network c.src),
+          Ipv4.to_int (Prefix.network c.dst),
+          proto_rank c, c.sp_lo, c.dp_lo )
+      in
+      let best =
+        List.fold_left
+          (fun best c -> if compare (key c) (key best) < 0 then c else best)
+          first rest
+      in
       Some
-        (Flow.make ~proto:(lowest_proto c.protos) ~src_port:c.sp_lo ~dst_port:c.dp_lo
-           (Prefix.network c.src) (Prefix.network c.dst))
+        (Flow.make ~proto:(lowest_proto best.protos) ~src_port:best.sp_lo
+           ~dst_port:best.dp_lo (Prefix.network best.src) (Prefix.network best.dst))
 
 let cubes t = t
 let cube_count = List.length

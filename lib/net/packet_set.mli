@@ -65,8 +65,12 @@ val mem : t -> Flow.t -> bool
 (** Exact membership of a concrete flow. *)
 
 val sample : t -> Flow.t option
-(** A deterministic witness packet — the least packet of the least cube —
-    or [None] on the empty set. *)
+(** The documented-deterministic witness packet of the set, or [None] on
+    the empty set: the packet with the lowest source address, then the
+    lowest destination address, then the lowest protocol
+    (icmp < tcp < udp), then the lowest source and destination ports.
+    Stable across runs and across semantically-equal representations of
+    the same set — golden tests may pin the rendered witness. *)
 
 val cubes : t -> cube list
 (** The canonical cube list (disjoint, sorted). *)

@@ -1,0 +1,254 @@
+open Heimdall_net
+
+exception Parse_error of int * string
+
+let fail line fmt = Printf.ksprintf (fun m -> raise (Parse_error (line, m))) fmt
+
+(* ---------------- tokenizer ---------------- *)
+
+(* Tokens are words plus the five structural symbols; '#' comments run to
+   end of line.  Every token carries its 1-based source line. *)
+let tokenize src =
+  let toks = ref [] in
+  let buf = Buffer.create 16 in
+  let line = ref 1 in
+  let flush () =
+    if Buffer.length buf > 0 then (
+      toks := (Buffer.contents buf, !line) :: !toks;
+      Buffer.clear buf)
+  in
+  let n = String.length src in
+  let i = ref 0 in
+  while !i < n do
+    (match src.[!i] with
+    | '#' ->
+        flush ();
+        while !i < n && src.[!i] <> '\n' do incr i done;
+        decr i
+    | '\n' ->
+        flush ();
+        incr line
+    | ' ' | '\t' | '\r' -> flush ()
+    | ('{' | '}' | ';' | ',' | '=') as c ->
+        flush ();
+        toks := (String.make 1 c, !line) :: !toks
+    | c -> Buffer.add_char buf c);
+    incr i
+  done;
+  flush ();
+  List.rev !toks
+
+(* ---------------- token stream ---------------- *)
+
+type stream = { mutable toks : (string * int) list; mutable last_line : int }
+
+let peek s = match s.toks with [] -> None | (t, _) :: _ -> Some t
+
+let next s =
+  match s.toks with
+  | [] -> fail s.last_line "unexpected end of input"
+  | (t, l) :: rest ->
+      s.toks <- rest;
+      s.last_line <- l;
+      (t, l)
+
+let expect s want =
+  let t, l = next s in
+  if t <> want then fail l "expected %S, got %S" want t
+
+(* ---------------- pieces ---------------- *)
+
+let is_proto_word w =
+  w = "any"
+  || List.for_all
+       (fun p -> List.mem p [ "icmp"; "tcp"; "udp" ])
+       (String.split_on_char '+' w)
+
+let protos_of_word l w =
+  if w = "any" then Poltree.all_protos
+  else
+    List.map
+      (fun p ->
+        match Flow.proto_of_string p with
+        | Some p -> p
+        | None -> fail l "unknown protocol %S" p)
+      (String.split_on_char '+' w)
+
+let is_port_word w =
+  w <> ""
+  && String.for_all (fun c -> (c >= '0' && c <= '9') || c = '-') w
+  && w.[0] <> '-'
+
+let ports_of_word l w =
+  match String.split_on_char '-' w with
+  | [ p ] -> (
+      match int_of_string_opt p with
+      | Some p -> (p, p)
+      | None -> fail l "bad port %S" w)
+  | [ lo; hi ] -> (
+      match (int_of_string_opt lo, int_of_string_opt hi) with
+      | Some lo, Some hi -> (lo, hi)
+      | _ -> fail l "bad port range %S" w)
+  | _ -> fail l "bad port range %S" w
+
+let parse_atom s : Poltree.atom =
+  let w, l = next s in
+  if not (is_proto_word w) then fail l "expected a protocol, got %S" w;
+  let protos = protos_of_word l w in
+  match peek s with
+  | Some p when is_port_word p ->
+      let w, l = next s in
+      let dp_lo, dp_hi = ports_of_word l w in
+      { protos; dp_lo; dp_hi }
+  | _ -> { protos; dp_lo = 0; dp_hi = Packet_set.max_port }
+
+let rec parse_atoms s =
+  let a = parse_atom s in
+  match peek s with
+  | Some "," ->
+      ignore (next s);
+      a :: parse_atoms s
+  | _ -> [ a ]
+
+let parse_service_ref s : Poltree.service_ref =
+  match peek s with
+  | Some w when is_proto_word w -> Poltree.Inline (parse_atoms s)
+  | _ ->
+      let w, l = next s in
+      if Poltree.valid_name w then Poltree.Named w
+      else fail l "expected a service, got %S" w
+
+let parse_prefix l w =
+  match Prefix.of_string_opt w with
+  | Some p -> p
+  | None -> fail l "bad prefix %S" w
+
+let parse_endpoint s : Poltree.endpoint =
+  let w, l = next s in
+  if w = "any" then Poltree.Any
+  else if String.contains w '/' then begin
+    let rec more acc =
+      match peek s with
+      | Some "," ->
+          ignore (next s);
+          let w, l = next s in
+          more (parse_prefix l w :: acc)
+      | _ -> List.rev acc
+    in
+    Poltree.Nets (more [ parse_prefix l w ])
+  end
+  else if Poltree.valid_name w then Poltree.Seg w
+  else fail l "expected an endpoint, got %S" w
+
+let parse_rule s first line : Poltree.rule =
+  let action : Poltree.action =
+    match first with
+    | "allow" -> Poltree.Allow
+    | "deny" -> Poltree.Deny
+    | "deny!" -> Poltree.Deny_final
+    | "require" ->
+        let w, l = next s in
+        if Poltree.valid_name w then Poltree.Require w
+        else fail l "expected a waypoint device, got %S" w
+    | _ -> fail line "expected a rule, got %S" first
+  in
+  let service = parse_service_ref s in
+  let src =
+    match peek s with
+    | Some "from" ->
+        ignore (next s);
+        parse_endpoint s
+    | _ -> Poltree.Any
+  in
+  let dst =
+    match peek s with
+    | Some "to" ->
+        ignore (next s);
+        Some (parse_endpoint s)
+    | _ -> None
+  in
+  expect s ";";
+  { Poltree.action; service; src; dst }
+
+let rec parse_node s : Poltree.node =
+  let name, l = next s in
+  if not (Poltree.valid_name name) then fail l "invalid node name %S" name;
+  expect s "{";
+  let scope = ref [] in
+  let owners = ref [] in
+  let rules = ref [] in
+  let children = ref [] in
+  let rec body () =
+    let w, l = next s in
+    match w with
+    | "}" -> ()
+    | "scope" ->
+        let rec prefixes acc =
+          let w, l = next s in
+          let acc = parse_prefix l w :: acc in
+          match next s with
+          | ",", _ -> prefixes acc
+          | ";", _ -> List.rev acc
+          | t, l -> fail l "expected ',' or ';' in scope, got %S" t
+        in
+        scope := !scope @ prefixes [];
+        body ()
+    | "owner" ->
+        let rec names acc =
+          let w, l = next s in
+          if not (Poltree.valid_name w) then fail l "invalid owner %S" w;
+          match next s with
+          | ",", _ -> names (w :: acc)
+          | ";", _ -> List.rev (w :: acc)
+          | t, l -> fail l "expected ',' or ';' in owner, got %S" t
+        in
+        owners := !owners @ names [];
+        body ()
+    | "node" ->
+        children := !children @ [ parse_node s ];
+        body ()
+    | _ ->
+        rules := !rules @ [ parse_rule s w l ];
+        body ()
+  in
+  body ();
+  if !scope = [] then fail l "node %s: missing scope" name;
+  { Poltree.name; scope = !scope; owners = !owners; rules = !rules; children = !children }
+
+let parse src =
+  let s = { toks = tokenize src; last_line = 1 } in
+  let services = ref [] in
+  let children = ref [] in
+  let root_rules = ref [] in
+  let rec top () =
+    match s.toks with
+    | [] -> ()
+    | _ ->
+        let w, l = next s in
+        (match w with
+        | "service" ->
+            let name, l = next s in
+            if not (Poltree.valid_name name) then fail l "invalid service name %S" name;
+            expect s "=";
+            let atoms = parse_atoms s in
+            expect s ";";
+            services := !services @ [ (name, atoms) ]
+        | "default" ->
+            (* Default-deny is the only default; the statement documents it. *)
+            expect s "deny";
+            expect s ";"
+        | "node" -> children := !children @ [ parse_node s ]
+        | _ -> root_rules := !root_rules @ [ parse_rule s w l ]);
+        top ()
+  in
+  top ();
+  let t =
+    { Poltree.services = !services; root = Poltree.make_root ~rules:!root_rules !children }
+  in
+  match Poltree.validate t with Ok () -> t | Error m -> raise (Parse_error (0, m))
+
+let parse_result src =
+  match parse src with
+  | t -> Ok t
+  | exception Parse_error (l, m) ->
+      Error (if l = 0 then m else Printf.sprintf "line %d: %s" l m)

@@ -1,0 +1,31 @@
+(** Text frontend for {!Poltree}, mirroring {!Heimdall_privilege.Dsl}:
+    line-oriented statements, [#] comments, line-numbered parse errors.
+
+    Grammar (informal):
+    {v
+    service web = tcp 80, tcp 443;
+    node campus {
+      scope 10.0.0.0/8, 192.168.0.0/16;
+      owner agg-1, agg-2;
+      deny! any from guests;
+      allow web from any to 10.1.0.0/16;
+      require fw-1 web from any;
+      node building-a { scope 10.1.0.0/16; ... }
+    }
+    allow icmp from any;          # top-level rules attach to the root
+    v}
+    Rule actions are [allow], [deny], [deny!] (non-overridable
+    invariant) and [require <device>].  A service is a name, [any], or
+    inline atoms ([tcp 80], [udp 53], [tcp 1000-2000], [icmp],
+    [tcp+udp 53]).  Endpoints are [any], a node name (its declared
+    scope), or a comma-separated prefix list.  [from] defaults to [any],
+    [to] to the enclosing node's scope. *)
+
+exception Parse_error of int * string
+(** Line number (1-based) and message. *)
+
+val parse : string -> Poltree.t
+(** Parse and {!Poltree.validate}.  @raise Parse_error on failure. *)
+
+val parse_result : string -> (Poltree.t, string) result
+(** [parse] with the error rendered as ["line N: msg"]. *)

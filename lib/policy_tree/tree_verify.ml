@@ -1,0 +1,72 @@
+open Heimdall_net
+open Heimdall_control
+open Heimdall_verify
+
+let proto_tag (p : Flow.proto) = Flow.proto_to_string p
+
+(* One representative flow per (subnet pair, service atom): icmp always,
+   plus each tcp/udp service the tree names.  Deterministic: subnets are
+   sorted, services sorted by name. *)
+let probe_flows tree net =
+  let subnets = Spec_miner.host_subnets net in
+  let services =
+    List.sort (fun (a, _) (b, _) -> String.compare a b) tree.Poltree.services
+  in
+  List.concat_map
+    (fun (src_net, src_hosts) ->
+      List.concat_map
+        (fun (dst_net, dst_hosts) ->
+          if Prefix.equal src_net dst_net then []
+          else
+            match (src_hosts, dst_hosts) with
+            | src_host :: _, dst_host :: _ -> (
+                match
+                  (Network.host_address src_host net, Network.host_address dst_host net)
+                with
+                | Some src, Some dst ->
+                    let icmp = ("icmp", Flow.icmp src dst) in
+                    let svc_flows =
+                      List.concat_map
+                        (fun (name, atoms) ->
+                          List.concat_map
+                            (fun (a : Poltree.atom) ->
+                              List.filter_map
+                                (fun proto ->
+                                  match proto with
+                                  | Flow.Icmp -> None
+                                  | Flow.Tcp | Flow.Udp ->
+                                      Some
+                                        ( Printf.sprintf "%s:%s" name (proto_tag proto),
+                                          Flow.make ~proto ~src_port:40000
+                                            ~dst_port:a.dp_lo src dst ))
+                                a.protos)
+                            atoms)
+                        services
+                    in
+                    List.map
+                      (fun (tag, flow) -> (src_net, dst_net, tag, flow))
+                      (icmp :: svc_flows)
+                | _ -> [])
+            | _ -> [])
+        subnets)
+    subnets
+
+(* Default-deny is "unspecified", not a claim: a flat spec that never
+   mentions a flow doesn't demand it be blocked, and grounding the
+   tree's implicit deny as [Isolated] would manufacture obligations the
+   operator never wrote.  Only explicit verdicts become probes. *)
+let probes net (c : Compile.compiled) =
+  List.filter_map
+    (fun (src_net, dst_net, tag, flow) ->
+      let src_label = Prefix.to_string src_net and dst_label = Prefix.to_string dst_net in
+      let id = Printf.sprintf "tree:%s:%s->%s" tag src_label dst_label in
+      match Compile.verdict c flow with
+      | Compile.Permit (w :: _) ->
+          Some (Policy.waypoint ~id ~src_label ~dst_label ~via:w flow)
+      | Compile.Permit [] -> Some (Policy.reachable ~id ~src_label ~dst_label flow)
+      | Compile.Deny_explicit -> Some (Policy.isolated ~id ~src_label ~dst_label flow)
+      | Compile.Deny_default -> None)
+    (probe_flows c.Compile.tree net)
+
+let check_all ?engine ?obs dp c =
+  Policy.check_all ?engine ?obs dp (probes (Dataplane.network dp) c)

@@ -1,0 +1,26 @@
+(** Compiled trees as a first-class spec source for the policy checker.
+
+    A compiled tree is total — every flow gets a verdict — so it can
+    stand where a mined flat spec stands: {!probes} grounds the tree on
+    the network's host-bearing subnets (one representative flow per
+    ordered subnet pair and service, like {!Heimdall_verify.Spec_miner})
+    and labels each probe with the tree's verdict; {!check_all} hands
+    the result to {!Heimdall_verify.Policy.check_all}, inheriting its
+    guarantee that verdicts are byte-identical at any domain count. *)
+
+open Heimdall_control
+open Heimdall_verify
+
+val probes : Network.t -> Compile.compiled -> Policy.t list
+(** Deterministic probe policies: per ordered pair of host-bearing
+    subnets, an ICMP flow plus one flow per tcp/udp service atom the
+    tree names, each carrying the tree's verdict as its intent
+    ([Permit] → [Reachable] or [Waypoint], explicit deny → [Isolated]).
+    Flows the tree only denies by default are unspecified — no rule
+    mentions them — so they produce no probe; the implicit deny is a
+    fallback, not an operator claim about the dataplane. *)
+
+val check_all :
+  ?engine:Engine.t -> ?obs:Heimdall_obs.Obs.t -> Dataplane.t -> Compile.compiled ->
+  Policy.report
+(** [Policy.check_all] over {!probes}. *)

@@ -160,6 +160,7 @@ type fleet = {
   params : params;
   net : Network.t;
   policies : Policy.t list;
+  poltree : Heimdall_poltree.Poltree.t;
   privilege : Privilege.t;
   issues : Issue.t list;
   edges : edge list;
@@ -651,11 +652,34 @@ let generate params =
       overgrant_issue edges sk.sk_gateway uplink_iface uplink_addr;
     ]
   in
+  (* The same policies, clustered into the topology hierarchy: pods /
+     campuses as interior nodes, one leaf per edge subnet owned by its
+     edge device.  POL004 over (poltree, policies) proves equivalence. *)
+  let poltree =
+    let group_prefix =
+      match params.shape with
+      | Fat_tree _ -> "pod"
+      | Leaf_spine _ -> "fabric"
+      | Multi_campus _ -> "campus"
+    in
+    let segs =
+      List.map
+        (fun e ->
+          {
+            Heimdall_poltree.Mine.seg_prefix = e.subnet;
+            seg_group = Printf.sprintf "%s-%d" group_prefix e.area;
+            seg_owners = [ e.dev ];
+          })
+        edges
+    in
+    Heimdall_poltree.Mine.of_policies ~segs policies
+  in
   {
     name = "fleet:" ^ spec_to_string params;
     params;
     net;
     policies;
+    poltree;
     privilege = fleet_privilege sk;
     issues;
     edges;

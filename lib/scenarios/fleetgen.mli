@@ -59,6 +59,11 @@ type fleet = {
   params : params;
   net : Network.t;
   policies : Policy.t list;
+  poltree : Heimdall_poltree.Poltree.t;
+      (** The same intents as [policies], clustered into the topology
+          hierarchy (pods/campuses as interior nodes, one leaf per edge
+          subnet, owners = the edge device).  POL004 over the compiled
+          tree and [policies] proves the two spec forms equivalent. *)
   privilege : Privilege.t;
       (** Per-fleet operator baseline: read-only everywhere, repairs
           scoped to the tier they belong to (render with

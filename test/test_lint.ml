@@ -34,15 +34,15 @@ let solo cfg =
 (* ---------------- registry ---------------- *)
 
 let test_registry () =
-  checki "rule count" 29 (List.length Lint.rules);
+  checki "rule count" 35 (List.length Lint.rules);
   let cs = List.map (fun (r : Lint.rule) -> r.code) Lint.rules in
-  checki "codes unique" 29 (List.length (List.sort_uniq String.compare cs));
+  checki "codes unique" 35 (List.length (List.sort_uniq String.compare cs));
   List.iter
     (fun (fam, label) ->
       checkb (label ^ " family populated") true
         (List.exists (fun (r : Lint.rule) -> r.family = fam) Lint.rules))
     [ (Lint.Config, "config"); (Lint.Acl, "acl"); (Lint.Net, "net");
-      (Lint.Privilege, "privilege"); (Lint.Plan, "plan") ];
+      (Lint.Privilege, "privilege"); (Lint.Plan, "plan"); (Lint.Pol, "pol") ];
   checkb "lookup hit" true (Lint.rule "ACL001" <> None);
   checkb "lookup miss" true (Lint.rule "XXX999" = None)
 

@@ -12,6 +12,7 @@ let () =
       ("lint", Test_lint.suite);
       ("sem", Test_sem.suite);
       ("plan", Test_plan.suite);
+      ("poltree", Test_poltree.suite);
       ("obs", Test_obs.suite);
       ("watchtower", Test_watchtower.suite);
       ("twin", Test_twin.suite);

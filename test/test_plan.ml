@@ -485,6 +485,43 @@ let test_static_analysis_sound_on_scenarios () =
         sc.Experiments.issues)
     [ "enterprise"; "university" ]
 
+(* ---------------- Fleet-scale plan pipeline ---------------- *)
+
+(* The same per-ticket construction `heimdall analyze --plan` uses, run
+   over a generated 37-device fleet: the prepared fixes lint clean, and
+   the deliberately over-granting ISP ticket trips the over-grant
+   analyzer (PRV004) after twin replay. *)
+let test_fleet_plan_pipeline () =
+  let sc = scenario "fleet:fat-tree:k=4" in
+  checki "fat-tree k=4 is 37 devices" 37
+    (List.length (Network.node_names sc.Experiments.net));
+  let tickets = scenario_tickets sc in
+  checkb "fleet has tickets" true (tickets <> []);
+  let ds =
+    Lint.check_plans ~network:sc.Experiments.net ~policies:sc.Experiments.policies
+      tickets
+  in
+  let errors =
+    List.filter (fun (d : Diagnostic.t) -> d.severity = Diagnostic.Error) ds
+  in
+  List.iter
+    (fun (d : Diagnostic.t) -> Printf.eprintf "plan: %s\n" (Diagnostic.to_string d))
+    errors;
+  checki "no error-severity PLAN findings on fleet fixes" 0 (List.length errors);
+  let issue =
+    List.find
+      (fun (i : Heimdall_msp.Issue.t) -> i.Heimdall_msp.Issue.name = "overgrant")
+      sc.Experiments.issues
+  in
+  let broken, privilege, em, _session = replay_session sc issue in
+  let changes = Heimdall_twin.Emulation.changes em in
+  let usage =
+    Lint.check_privilege_usage ~label:"ticket:overgrant" ~network:broken
+      ~spec:privilege ~changes ()
+  in
+  checkb "PRV004 over-grant detected on the fleet ticket" true
+    (List.exists (fun (d : Diagnostic.t) -> d.Diagnostic.code = "PRV004") usage)
+
 let suite =
   [
     Alcotest.test_case "effect signatures" `Quick test_effect_signatures;
@@ -505,4 +542,5 @@ let suite =
     Alcotest.test_case "scheduler plan footprint" `Quick test_scheduler_plan_footprint;
     Alcotest.test_case "static analysis sound on scenarios" `Quick
       test_static_analysis_sound_on_scenarios;
+    Alcotest.test_case "fleet plan pipeline" `Quick test_fleet_plan_pipeline;
   ]
